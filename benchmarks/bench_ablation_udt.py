@@ -1,0 +1,110 @@
+"""Ablation A3 — the bit-packed DNA sequence UDT (future work of §6.1).
+
+"A bit-encoding of the sequences could reduce the size to just about a
+quarter. This could be achieved by introducing a corresponding
+domain-specific short-read data type." We built that type
+(``DnaSequence``: 2-bit for pure ACGT, 4-bit with ambiguity codes) and
+measure: storage of the sequence column under VARCHAR vs UDT, and the
+scan-time cost the (de)serialisation adds.
+
+Report: ``benchmarks/results/ablation_udt.txt``.
+"""
+
+import time
+
+import pytest
+
+from bench_common import SCALE, save_report
+from repro.core.wrappers import register_extensions
+from repro.engine import Database
+
+N_ROWS = int(30_000 * SCALE)
+
+
+def build(sequence_type, reads):
+    db = Database()
+    register_extensions(db)
+    db.execute(
+        f"""
+        CREATE TABLE seqs (
+            id INT PRIMARY KEY,
+            seq {sequence_type}
+        )
+        """
+    )
+    table = db.table("seqs")
+    for i, record in enumerate(reads):
+        table.insert((i, record.sequence))
+    table.finish_bulk_load()
+    return db, table
+
+
+@pytest.fixture(scope="module")
+def reads(reseq_reads):
+    return reseq_reads[:N_ROWS]
+
+
+class TestBenchmarks:
+    def test_bench_varchar_load(self, benchmark, reads):
+        def load():
+            db, table = build("VARCHAR(100)", reads)
+            size = table.stored_bytes()
+            db.close()
+            return size
+
+        assert benchmark.pedantic(load, rounds=2, iterations=1) > 0
+
+    def test_bench_udt_load(self, benchmark, reads):
+        def load():
+            db, table = build("DnaSequence", reads)
+            size = table.stored_bytes()
+            db.close()
+            return size
+
+        assert benchmark.pedantic(load, rounds=2, iterations=1) > 0
+
+
+def test_ablation_udt_report(benchmark, reads):
+    def measure():
+        results = {}
+        for type_name in ("VARCHAR(100)", "DnaSequence"):
+            db, table = build(type_name, reads)
+            results[type_name] = {"bytes": table.stored_bytes()}
+            # cold scan: records decoded from storage
+            start = time.perf_counter()
+            count = sum(1 for _row in table.scan())
+            results[type_name]["cold_scan"] = time.perf_counter() - start
+            # warm scan: row cache hit
+            start = time.perf_counter()
+            count = sum(1 for _row in table.scan())
+            results[type_name]["warm_scan"] = time.perf_counter() - start
+            assert count == len(reads)
+            db.close()
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    varchar = results["VARCHAR(100)"]
+    udt = results["DnaSequence"]
+    seq_bytes = sum(len(r.sequence) for r in reads)
+    lines = [
+        f"Ablation A3: sequence column storage, {N_ROWS:,} x 36 bp reads",
+        "=" * 72,
+        f"{'design':>16}{'table bytes':>16}{'cold scan s':>14}{'warm scan s':>14}",
+        "-" * 72,
+        f"{'VARCHAR(100)':>16}{varchar['bytes']:>15,}B"
+        f"{varchar['cold_scan']:>14.3f}{varchar['warm_scan']:>14.3f}",
+        f"{'DnaSequence':>16}{udt['bytes']:>15,}B"
+        f"{udt['cold_scan']:>14.3f}{udt['warm_scan']:>14.3f}",
+        "-" * 72,
+        f"raw sequence payload: {seq_bytes:,} bytes as text; "
+        f"UDT table / VARCHAR table = {udt['bytes'] / varchar['bytes']:.2f}x",
+        "Paper's projection: bit-encoding ≈ 1/4 of the text size on the",
+        "sequence payload (keys and page overheads dilute the table-level",
+        "ratio); decode cost shows up in the cold scan, disappears warm.",
+    ]
+    save_report("ablation_udt.txt", "\n".join(lines))
+
+    assert udt["bytes"] < varchar["bytes"]
+    # the sequence payload itself must shrink to ~1/4 + header
+    per_row_saving = (varchar["bytes"] - udt["bytes"]) / len(reads)
+    assert per_row_saving > 36 * 0.5  # save at least half the text size

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: workload sizes at scale 1.0
+DGE_READS = int(80_000 * SCALE)
+RESEQ_READS = int(50_000 * SCALE)
+CHROMOSOMES = 3
+CHROMOSOME_LENGTH = int(60_000 * max(SCALE, 1.0))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a paper-artifact report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

@@ -1,0 +1,121 @@
+"""Experiment T1 — Table 1: storage efficiency, digital gene expression.
+
+Regenerates the paper's Table 1 at simulator scale: one DGE lane's
+level-1 reads, unique tags, alignments, and gene-expression results,
+stored under every physical design (Files / FileStream / 1:1 /
+normalized / +ROW / +PAGE / +DNA-UDT).
+
+Report: ``benchmarks/results/table1_storage.txt``.
+
+Expected shape (paper Section 5.1.1): FileStream == Files; the 1:1
+import is larger than the files; the normalized schema with row
+compression matches the files; page compression wins further on this
+repetitive workload; alignments shrink drastically once sequences are
+referenced by foreign key instead of repeated.
+"""
+
+import pytest
+
+from bench_common import save_report
+from repro.core.storage_report import ScenarioData, format_table, measure_storage
+
+
+@pytest.fixture(scope="module")
+def scenario(dge_reads, ranked_tags, dge_alignments, genes):
+    expression = [
+        (f"GENE{g.gene_id:05d}", (i + 1) * 7, i + 1)
+        for i, g in enumerate(genes[: len(genes) // 2])
+    ]
+    return ScenarioData(
+        kind="dge",
+        reads=dge_reads,
+        alignments=dge_alignments,
+        ranked_tags=ranked_tags,
+        expression=expression,
+        # DGE aligns *tags*, so the mapview sequences come from the tag
+        # list rather than the raw reads
+        alignment_sequences={
+            f"tag_{rank}": (seq, "I" * len(seq))
+            for rank, _count, seq in ranked_tags
+        },
+    )
+
+
+def test_table1_report(benchmark, scenario, tmp_path_factory):
+    storage_table = benchmark.pedantic(
+        measure_storage,
+        args=(scenario,),
+        kwargs={"workdir": tmp_path_factory.mktemp("table1")},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        storage_table,
+        "Table 1 (reproduced, simulator scale): Storage Efficiency "
+        "- Digital Gene Expression",
+    )
+    save_report("table1_storage.txt", text)
+    reads = storage_table["short_reads"]
+    # paper claims, as assertions:
+    assert reads["filestream"] == reads["files"]
+    assert reads["one_to_one"] >= reads["files"]
+    assert reads["norm_row"] <= reads["files"] * 1.1
+    assert reads["norm_page"] < reads["norm_row"]
+    alignments = storage_table["alignments"]
+    assert alignments["normalized"] < alignments["one_to_one"]
+
+
+def test_bench_normalized_import(benchmark, dge_reads, tmp_path_factory):
+    """Import-rate microbenchmark: rows/second into the normalized Read
+    table (bulk path, clustered key maintained)."""
+    from repro.core.schemas import create_normalized_schema
+    from repro.engine import Database
+    from repro.genomics.fastq import parse_illumina_name
+
+    subset = dge_reads[:5000]
+
+    def load():
+        db = Database(
+            data_dir=tmp_path_factory.mktemp("imp")
+        )
+        create_normalized_schema(db)
+        table = db.table("Read")
+        for r_id, record in enumerate(subset, start=1):
+            name = parse_illumina_name(record.name)
+            table.insert(
+                (1, 1, 1, r_id, name.lane, name.tile, name.x, name.y,
+                 record.sequence, record.quality)
+            )
+        table.finish_bulk_load()
+        rows = table.row_count
+        db.close()
+        return rows
+
+    assert benchmark.pedantic(load, rounds=2, iterations=1) == 5000
+
+
+def test_bench_page_compression_seal(benchmark, dge_reads):
+    """Cost of PAGE compression at page-seal time (the write-side price
+    of the storage savings)."""
+    from repro.engine.schema import Column, TableSchema
+    from repro.engine.storage.heap import HeapFile
+    from repro.engine.types import int_type, varchar_type
+
+    schema = TableSchema(
+        "t",
+        [
+            Column("id", int_type(), nullable=False),
+            Column("seq", varchar_type(100)),
+        ],
+        primary_key=["id"],
+    )
+    subset = [(i, r.sequence) for i, r in enumerate(dge_reads[:5000])]
+
+    def load_compressed():
+        heap = HeapFile(schema, compression="PAGE")
+        for row in subset:
+            heap.insert(row)
+        heap.seal_all()
+        return heap.stored_bytes()
+
+    assert benchmark.pedantic(load_compressed, rounds=2, iterations=1) > 0

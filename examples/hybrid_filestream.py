@@ -1,0 +1,87 @@
+"""The hybrid design, exactly as Section 3.3 demonstrates it.
+
+Runs the paper's T-SQL sequence verbatim: create the FILESTREAM table,
+bulk-import a FASTQ file with ``OPENROWSET(BULK ..., SINGLE_BLOB)``,
+inspect the metadata (``PathName()``, ``DATALENGTH``), query the blob
+relationally through the ``ListShortReads`` TVF — and then show the
+hybrid design's punchline: an *external tool* (here, the MAQ-style
+command-line pipeline) reading the same bytes through the file system
+path the database handed out.
+
+Run:  python examples/hybrid_filestream.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.baselines import MaqTool
+from repro.core import register_extensions
+from repro.core.schemas import create_filestream_schema
+from repro.engine import Database
+from repro.genomics import (
+    generate_reference,
+    simulate_dge_lane,
+    annotate_genes,
+    write_fasta,
+    write_fastq,
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hybrid-demo-"))
+
+    # fake the sequencer's output: a FASTQ file on disk
+    reference = generate_reference(2, 20_000, seed=51)
+    genes = annotate_genes(reference, n_genes=30, gene_length=(300, 700), seed=52)
+    reads = list(simulate_dge_lane(reference, genes, 5_000, seed=53))
+    fastq_path = workdir / "855_s_1.fastq"
+    write_fastq(reads, fastq_path)
+    print(f"sequencer produced {fastq_path} ({fastq_path.stat().st_size:,} bytes)")
+
+    db = Database(data_dir=workdir / "db")
+    register_extensions(db)
+    create_filestream_schema(db)
+
+    # --- the paper's T-SQL, verbatim ----------------------------------
+    db.execute(
+        f"""
+        /* Bulk-Import new FileStream row */
+        INSERT INTO ShortReadFiles (guid, sample, lane, reads)
+         SELECT NEWID(), 855, 1, *
+         FROM OPENROWSET(BULK '{fastq_path}', SINGLE_BLOB);
+        """
+    )
+    print("\n/* check meta-data of the filestream table content */")
+    for guid, sample, lane, path, length in db.query(
+        "SELECT guid, sample, lane, reads.PathName(), DATALENGTH(reads) "
+        "FROM ShortReadFiles"
+    ):
+        print(f"  {guid}  sample={sample} lane={lane}")
+        print(f"  PathName() = {path}")
+        print(f"  DATALENGTH = {length:,} bytes")
+        managed_path = Path(path)
+
+    print("\n/* check content of one FileStream column using a TVF */")
+    rows = db.query("SELECT TOP 3 * FROM ListShortReads(855, 1, 'FastQ')")
+    for name, seq, quals in rows:
+        print(f"  @{name}\n   {seq}\n   {quals}")
+    total = db.scalar("SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ')")
+    print(f"  ... {total:,} reads total")
+
+    # --- the hybrid punchline: external tools keep working ------------
+    print("\nexternal MAQ-style tool, reading the DB-managed file directly:")
+    ref_path = workdir / "ref.fasta"
+    write_fasta(reference, ref_path)
+    tool = MaqTool(workdir / "maq")
+    artifacts = tool.pipeline(managed_path, ref_path)
+    for name, path in artifacts.items():
+        print(f"  {name:<8} {path.stat().st_size:>10,} bytes  {path.name}")
+
+    # the database still controls the storage: consistency check passes
+    problems = db.checkdb()
+    print(f"\nDBCC-style consistency check: {problems or 'clean'}")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of "Data Management for High-Throughput Genomics"
+(Roehm & Blakeley, CIDR 2009).
+
+Subpackages:
+
+- :mod:`repro.engine` — an extensible relational engine (the SQL Server
+  2008 substitute): SQL subset, FILESTREAM BLOBs, UDF/TVF/UDA/UDT
+  contracts, row/page compression, parallel plans;
+- :mod:`repro.genomics` — the genomics substrate: formats, simulation,
+  alignment, consensus;
+- :mod:`repro.core` — the paper's contribution: schemas, file-wrapper
+  TVFs, analysis UDAs, canonical queries, warehouse, workflow;
+- :mod:`repro.baselines` — the file-centric comparison points.
+"""
+
+from .core import GenomicsWarehouse
+from .engine import Database
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "GenomicsWarehouse", "__version__"]

@@ -1,0 +1,122 @@
+"""Phase-level resource traces (the Figures 7 and 8 instrumentation).
+
+The paper contrasts the resource profile of the sequential Perl script
+(read everything → process on one core → write; ~25 % CPU on a 4-core
+box) with the parallel SQL plan (all cores busy). We record the same
+story as *phase traces*: each phase has a wall-clock span and a CPU
+utilisation (cores busy ÷ cores available), and the renderer draws the
+text equivalent of the paper's perfmon screenshots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Phase:
+    name: str
+    start: float
+    end: float
+    #: fraction of the machine's cores kept busy (0..1]
+    utilization: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ResourceTrace:
+    """An ordered list of phases for one program run."""
+
+    label: str
+    cores: int = 4
+    phases: List[Phase] = field(default_factory=list)
+    _origin: Optional[float] = None
+
+    def record(self, name: str, busy_cores: float = 1.0, detail: str = ""):
+        """Context manager timing one phase::
+
+            with trace.record("process", busy_cores=1):
+                ...
+        """
+        return _PhaseRecorder(self, name, busy_cores, detail)
+
+    def add_phase(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        busy_cores: float,
+        detail: str = "",
+    ) -> None:
+        if self._origin is None:
+            self._origin = start
+        self.phases.append(
+            Phase(
+                name,
+                start - self._origin,
+                end - self._origin,
+                min(busy_cores / self.cores, 1.0),
+                detail,
+            )
+        )
+
+    @property
+    def total_time(self) -> float:
+        return self.phases[-1].end if self.phases else 0.0
+
+    def mean_utilization(self) -> float:
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        busy = sum(p.duration * p.utilization for p in self.phases)
+        return busy / total
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def render(self, width: int = 64) -> str:
+        """Draw the trace as a text chart: one row per phase, bar length
+        ∝ duration, bar fill ∝ CPU utilisation."""
+        lines = [
+            f"{self.label}  (total {self.total_time:.2f}s, "
+            f"mean CPU {self.mean_utilization() * 100:.0f}% of {self.cores} cores)"
+        ]
+        total = self.total_time or 1.0
+        for phase in self.phases:
+            bar_len = max(1, round(width * phase.duration / total))
+            filled = max(0, round(bar_len * phase.utilization))
+            bar = "#" * filled + "." * (bar_len - filled)
+            lines.append(
+                f"  {phase.name:<10} |{bar:<{width}}| "
+                f"{phase.duration:6.2f}s @ {phase.utilization * 100:3.0f}% CPU"
+                + (f"  ({phase.detail})" if phase.detail else "")
+            )
+        return "\n".join(lines)
+
+
+class _PhaseRecorder:
+    def __init__(self, trace: ResourceTrace, name: str, busy_cores: float, detail: str):
+        self._trace = trace
+        self._name = name
+        self._busy = busy_cores
+        self._detail = detail
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._trace.add_phase(
+            self._name,
+            self._start,
+            time.perf_counter(),
+            self._busy,
+            self._detail,
+        )
+        return False

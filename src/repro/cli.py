@@ -1,0 +1,307 @@
+"""Command-line interface.
+
+Four subcommands cover the lab loop a downstream user runs:
+
+- ``simulate`` — generate a synthetic reference genome, gene annotation,
+  and a level-1 FASTQ lane (DGE or re-sequencing statistics);
+- ``pipeline`` — run phases 1–3 against a FASTQ + reference: import,
+  bin/align, and the tertiary analysis for the experiment kind, writing
+  the result files;
+- ``storage-report`` — measure a lane under every physical design and
+  print the Table-1/2-style comparison;
+- ``search`` — q-gram search for a pattern over a lane's reads.
+
+Example::
+
+    repro-genomics simulate --kind dge --out-dir ./demo --reads 20000
+    repro-genomics pipeline --kind dge --out-dir ./demo \\
+        --fastq ./demo/lane.fastq --reference ./demo/reference.fasta \\
+        --genes ./demo/genes.tsv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import GenomicsWarehouse, SequencingWorkflow
+from .core.storage_report import ScenarioData, format_table, measure_storage
+from .genomics.aligner import ShortReadAligner
+from .genomics.fasta import read_fasta, write_fasta
+from .genomics.fastq import read_fastq, write_fastq
+from .genomics.simulate import (
+    GeneAnnotation,
+    annotate_genes,
+    generate_reference,
+    simulate_dge_lane,
+    simulate_resequencing_lane,
+)
+
+
+def _write_genes(genes: Sequence[GeneAnnotation], path: Path) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("gene_id\tname\tchromosome\tstart\tend\tstrand\n")
+        for gene in genes:
+            handle.write(
+                f"{gene.gene_id}\t{gene.name}\t{gene.chromosome}\t"
+                f"{gene.start}\t{gene.end}\t{gene.strand}\n"
+            )
+
+
+def _read_genes(path: Path) -> List[GeneAnnotation]:
+    genes = []
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline()
+        if not header.startswith("gene_id"):
+            raise SystemExit(f"{path}: not a genes.tsv file")
+        for line in handle:
+            gene_id, name, chromosome, start, end, strand = (
+                line.rstrip("\n").split("\t")
+            )
+            genes.append(
+                GeneAnnotation(
+                    int(gene_id), name, chromosome, int(start), int(end), strand
+                )
+            )
+    return genes
+
+
+# ---------------------------------------------------------------------------
+# simulate
+# ---------------------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reference = generate_reference(
+        n_chromosomes=args.chromosomes,
+        chromosome_length=args.chromosome_length,
+        seed=args.seed,
+    )
+    write_fasta(reference, out_dir / "reference.fasta")
+    genes = annotate_genes(
+        reference,
+        n_genes=args.genes,
+        gene_length=(300, max(1500, args.chromosome_length // 40)),
+        seed=args.seed + 1,
+    )
+    _write_genes(genes, out_dir / "genes.tsv")
+    if args.kind == "dge":
+        reads = simulate_dge_lane(
+            reference, genes, args.reads, seed=args.seed + 2
+        )
+    else:
+        reads = simulate_resequencing_lane(
+            reference, args.reads, seed=args.seed + 2
+        )
+    count = write_fastq(reads, out_dir / "lane.fastq")
+    print(
+        f"wrote {out_dir}/reference.fasta ({args.chromosomes} chromosomes), "
+        f"genes.tsv ({len(genes)} genes), lane.fastq ({count} reads, "
+        f"{args.kind})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pipeline
+# ---------------------------------------------------------------------------
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reference = list(read_fasta(args.reference))
+    reads = list(read_fastq(args.fastq))
+    started = time.perf_counter()
+    with GenomicsWarehouse(data_dir=out_dir / "warehouse") as warehouse:
+        warehouse.load_reference(reference)
+        if args.genes:
+            warehouse.load_genes(_read_genes(Path(args.genes)))
+        elif args.kind == "dge":
+            raise SystemExit("--genes is required for kind=dge")
+        warehouse.register_experiment(1, args.name, args.kind)
+        warehouse.register_sample_group(1, 1, "cli")
+        warehouse.register_sample(1, 1, 1, "cli sample")
+        workflow = SequencingWorkflow(warehouse)
+        counts = workflow.run_all(
+            1, 1, 1, reads, kind=args.kind, hybrid=not args.no_hybrid
+        )
+        print(
+            f"phases done in {time.perf_counter() - started:.1f}s: "
+            f"{counts['reads']} reads, {counts['alignments']} alignments, "
+            f"{counts['tertiary']} tertiary rows"
+        )
+        if args.kind == "dge":
+            tags_path = out_dir / "tags.txt"
+            with open(tags_path, "w", encoding="ascii") as handle:
+                for t_id, seq, freq in warehouse.db.query(
+                    "SELECT t_id, t_seq, t_frequency FROM Tag ORDER BY t_id"
+                ):
+                    handle.write(f"{t_id}\t{freq}\t{seq}\n")
+            expr_path = out_dir / "expression.txt"
+            with open(expr_path, "w", encoding="ascii") as handle:
+                for name, total, count in warehouse.db.query(
+                    """
+                    SELECT name, total_freq, tag_count FROM GeneExpression
+                    JOIN Gene ON (ge_g_id = g_id)
+                    ORDER BY total_freq DESC
+                    """
+                ):
+                    handle.write(f"{name}\t{total}\t{count}\n")
+            print(f"wrote {tags_path} and {expr_path}")
+        else:
+            from .genomics.fasta import FastaRecord
+
+            id_to_name = {
+                v: k for k, v in warehouse.reference_names.items()
+            }
+            consensus_path = out_dir / "consensus.fasta"
+            records = [
+                FastaRecord(
+                    f"{id_to_name[rs_id]}_consensus",
+                    seq,
+                    f"start={start}",
+                )
+                for rs_id, start, seq in warehouse.db.query(
+                    "SELECT c_rs_id, c_start, c_seq FROM Consensus"
+                )
+            ]
+            write_fasta(records, consensus_path)
+            print(f"wrote {consensus_path}")
+        provenance = workflow.provenance(1, 1, 1)
+        log_path = out_dir / "provenance.txt"
+        with open(log_path, "w", encoding="ascii") as handle:
+            for phase, tool, params, rows_out in provenance:
+                handle.write(f"{phase}\t{tool}\t{rows_out}\t{params}\n")
+        print(f"wrote {log_path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# storage-report
+# ---------------------------------------------------------------------------
+
+
+def cmd_storage_report(args: argparse.Namespace) -> int:
+    reference = list(read_fasta(args.reference))
+    reads = list(read_fastq(args.fastq))
+    aligner = ShortReadAligner(reference)
+    alignments = [
+        hit for _read, hit in aligner.align_all(reads) if hit is not None
+    ]
+    scenario = ScenarioData(
+        kind=args.kind, reads=reads, alignments=alignments
+    )
+    table = measure_storage(scenario, include_udt=not args.no_udt)
+    print(
+        format_table(
+            table,
+            f"Storage efficiency — {args.fastq} "
+            f"({len(reads)} reads, {len(alignments)} alignments)",
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# search
+# ---------------------------------------------------------------------------
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from .genomics.qgram import QGramIndex
+
+    index = QGramIndex(q=min(8, max(4, len(args.pattern) // 2)))
+    reads = {}
+    for i, record in enumerate(read_fastq(args.fastq), start=1):
+        reads[i] = record
+        index.add(i, record.sequence)
+    matches = list(
+        index.search_approximate(args.pattern, args.mismatches)
+    )
+    print(
+        f"{len(matches)} matches for {args.pattern!r} "
+        f"(<= {args.mismatches} mismatches) in {len(reads)} reads"
+    )
+    for match in matches[: args.limit]:
+        record = reads[match.sequence_id]
+        print(
+            f"  {record.name}  pos {match.position}  "
+            f"mismatches {match.mismatches}  {record.sequence}"
+        )
+    if len(matches) > args.limit:
+        print(f"  ... {len(matches) - args.limit} more")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-genomics",
+        description="High-throughput genomics data management "
+        "(CIDR 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic dataset")
+    sim.add_argument("--kind", choices=("dge", "resequencing"), default="dge")
+    sim.add_argument("--out-dir", required=True)
+    sim.add_argument("--reads", type=int, default=20_000)
+    sim.add_argument("--chromosomes", type=int, default=2)
+    sim.add_argument("--chromosome-length", type=int, default=50_000)
+    sim.add_argument("--genes", type=int, default=60)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.set_defaults(func=cmd_simulate)
+
+    pipe = sub.add_parser("pipeline", help="run phases 1-3 on a lane")
+    pipe.add_argument("--kind", choices=("dge", "resequencing"), required=True)
+    pipe.add_argument("--fastq", required=True)
+    pipe.add_argument("--reference", required=True)
+    pipe.add_argument("--genes", help="genes.tsv (required for dge)")
+    pipe.add_argument("--out-dir", required=True)
+    pipe.add_argument("--name", default="cli experiment")
+    pipe.add_argument(
+        "--no-hybrid",
+        action="store_true",
+        help="import rows directly instead of via FILESTREAM + TVF",
+    )
+    pipe.set_defaults(func=cmd_pipeline)
+
+    storage = sub.add_parser(
+        "storage-report", help="Table-1/2-style storage comparison"
+    )
+    storage.add_argument("--fastq", required=True)
+    storage.add_argument("--reference", required=True)
+    storage.add_argument(
+        "--kind", choices=("dge", "resequencing"), default="resequencing"
+    )
+    storage.add_argument("--no-udt", action="store_true")
+    storage.set_defaults(func=cmd_storage_report)
+
+    search = sub.add_parser("search", help="q-gram search over a lane")
+    search.add_argument("--fastq", required=True)
+    search.add_argument("--pattern", required=True)
+    search.add_argument("--mismatches", type=int, default=0)
+    search.add_argument("--limit", type=int, default=10)
+    search.set_defaults(func=cmd_search)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution layer: schemas, extensibility wrappers,
+canonical queries, and the warehouse facade."""
+
+from . import differential, filewrap, indb_align, probabilistic, provenance, queries, schemas, storage_report
+from .warehouse import GenomicsWarehouse
+from .differential import differential_expression
+from .indb_align import register_alignment_extensions
+from .probabilistic import (
+    ProbabilisticSequence,
+    register_probabilistic_extensions,
+)
+from .provenance import ProvenanceTracker
+from .workflow import SequencingWorkflow
+from .wrappers import (
+    AssembleConsensusUda,
+    AssembleSequenceUda,
+    CallBaseUda,
+    ChunkedBlobReader,
+    ConsensusPiece,
+    DNA_SEQUENCE_UDT,
+    ListShortReadsTvf,
+    PivotAlignmentTvf,
+    parse_fasta_entry,
+    parse_fastq_entry,
+    register_extensions,
+)
+
+__all__ = [
+    "AssembleConsensusUda",
+    "AssembleSequenceUda",
+    "CallBaseUda",
+    "ChunkedBlobReader",
+    "ConsensusPiece",
+    "DNA_SEQUENCE_UDT",
+    "GenomicsWarehouse",
+    "ListShortReadsTvf",
+    "PivotAlignmentTvf",
+    "parse_fasta_entry",
+    "parse_fastq_entry",
+    "differential",
+    "differential_expression",
+    "filewrap",
+    "indb_align",
+    "probabilistic",
+    "provenance",
+    "ProbabilisticSequence",
+    "ProvenanceTracker",
+    "register_alignment_extensions",
+    "register_probabilistic_extensions",
+    "queries",
+    "register_extensions",
+    "schemas",
+    "storage_report",
+    "SequencingWorkflow",
+]

@@ -1,0 +1,126 @@
+"""The paper's canonical analysis queries (Section 4.2).
+
+Each builder returns the SQL text (so benchmarks can EXPLAIN it) and has
+an ``execute`` companion running it against a warehouse database.
+
+- **Query 1** — unique short-read binning for digital gene expression:
+  frequency-ranked tags, excluding reads with uncalled bases. The
+  declarative replacement for the 26-line Perl script.
+- **Query 2** — gene-expression analysis: group alignments by gene,
+  totalling tag frequencies, INSERTed into ``GeneExpression``.
+- **Query 3** — consensus calling, in both shapes the paper discusses:
+  the conceptually clean pivot/group/aggregate pipeline and the
+  optimised single-pass sliding-window ``AssembleConsensus`` UDA.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..engine.database import Database
+
+
+def query1_binning_sql(
+    e_id: int, sg_id: int, s_id: int, maxdop: int | None = None
+) -> str:
+    """Query 1 — Binning Unique Short Reads."""
+    option = f"\nOPTION (MAXDOP {maxdop})" if maxdop is not None else ""
+    return f"""
+SELECT ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC) AS tag_rank,
+       COUNT(*) AS frequency,
+       short_read_seq
+  FROM [Read]
+ WHERE r_e_id = {e_id} AND r_sg_id = {sg_id} AND r_s_id = {s_id}
+       AND CHARINDEX('N', short_read_seq) = 0
+ GROUP BY short_read_seq{option}
+"""
+
+
+def execute_query1(
+    db: Database, e_id: int = 1, sg_id: int = 1, s_id: int = 1,
+    maxdop: int | None = None,
+) -> List[Tuple[int, int, str]]:
+    """Run Query 1; rows are (rank, frequency, sequence)."""
+    return db.query(query1_binning_sql(e_id, sg_id, s_id, maxdop))
+
+
+def query2_expression_sql(e_id: int, sg_id: int, s_id: int) -> str:
+    """Query 2 — Gene Expression Analysis (INSERT ... SELECT)."""
+    return f"""
+INSERT INTO GeneExpression
+SELECT a_g_id, a_e_id, a_sg_id, a_s_id,
+       SUM(t_frequency) AS total_freq,
+       COUNT(a_t_id) AS tag_count
+  FROM Alignment
+  JOIN Tag ON (a_e_id = t_e_id AND a_sg_id = t_sg_id
+               AND a_s_id = t_s_id AND a_t_id = t_id)
+ WHERE a_e_id = {e_id} AND a_sg_id = {sg_id} AND a_s_id = {s_id}
+       AND a_g_id IS NOT NULL
+ GROUP BY a_g_id, a_e_id, a_sg_id, a_s_id
+"""
+
+
+def execute_query2(
+    db: Database, e_id: int = 1, sg_id: int = 1, s_id: int = 1
+) -> int:
+    """Run Query 2; returns the number of GeneExpression rows written."""
+    return db.execute(query2_expression_sql(e_id, sg_id, s_id))
+
+
+#: the forward-strand projection of a stored read: minus-strand hits are
+#: reverse-complemented (and their qualities reversed) through scalar
+#: UDFs, exactly the kind of in-query sequence manipulation the paper's
+#: extensibility story enables
+ORIENTED_SEQ = (
+    "CASE WHEN a_strand = '-' THEN ReverseComplement(short_read_seq) "
+    "ELSE short_read_seq END"
+)
+ORIENTED_QUALS = (
+    "CASE WHEN a_strand = '-' THEN REVERSE(quals) ELSE quals END"
+)
+
+
+def query3_pivot_sql(e_id: int, sg_id: int, s_id: int) -> str:
+    """Query 3, conceptually clean shape: pivot every alignment into
+    per-base rows, group by position for CallBase, then reassemble."""
+    return f"""
+SELECT chromosome, AssembleSequence(pos, b) AS consensus
+  FROM (SELECT a_rs_id AS chromosome, pos, CallBase(base, qual) AS b
+          FROM Alignment
+          JOIN [Read] ON (a_e_id = r_e_id AND a_sg_id = r_sg_id
+                          AND a_s_id = r_s_id AND a_r_id = r_id)
+         CROSS APPLY PivotAlignment(a_pos, {ORIENTED_SEQ}, {ORIENTED_QUALS})
+         WHERE a_e_id = {e_id} AND a_sg_id = {sg_id} AND a_s_id = {s_id}
+         GROUP BY a_rs_id, pos) AS piv
+ GROUP BY chromosome
+"""
+
+
+def query3_sliding_window_sql(e_id: int, sg_id: int, s_id: int) -> str:
+    """Query 3, optimised shape: one ordered pass per chromosome through
+    the AssembleConsensus UDA (no pivoted intermediate)."""
+    return f"""
+SELECT a_rs_id,
+       AssembleConsensus(a_pos, {ORIENTED_SEQ}, {ORIENTED_QUALS}) AS consensus
+  FROM Alignment
+  JOIN [Read] ON (a_e_id = r_e_id AND a_sg_id = r_sg_id
+                  AND a_s_id = r_s_id AND a_r_id = r_id)
+ WHERE a_e_id = {e_id} AND a_sg_id = {sg_id} AND a_s_id = {s_id}
+ GROUP BY a_rs_id
+"""
+
+
+def execute_query3_pivot(
+    db: Database, e_id: int = 1, sg_id: int = 1, s_id: int = 1
+) -> List[Tuple]:
+    """Run the pivot-shaped consensus query; rows are
+    (chromosome_id, ConsensusPiece)."""
+    return db.query(query3_pivot_sql(e_id, sg_id, s_id))
+
+
+def execute_query3_sliding(
+    db: Database, e_id: int = 1, sg_id: int = 1, s_id: int = 1
+) -> List[Tuple]:
+    """Run the sliding-window consensus query; rows are
+    (chromosome_id, ConsensusPiece)."""
+    return db.query(query3_sliding_window_sql(e_id, sg_id, s_id))

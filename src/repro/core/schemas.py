@@ -1,0 +1,303 @@
+"""Relational schemas for high-throughput sequencing (paper Section 3).
+
+Two physical designs are provided, the very designs Tables 1 and 2
+compare:
+
+**Normalized** (:func:`create_normalized_schema`) — the paper's proposed
+schema. Workflow provenance (Experiment → SampleGroup → Sample, Flowcell
+→ Lane) and the level-1..3 sequence data live in one schema; composite
+integer keys replace materialised textual identifiers; alignments link
+back to the ``Read``/``Tag`` base tables by foreign key instead of
+repeating sequences.
+
+**1:1 import** (:func:`create_one_to_one_schema`) — the "straightforward"
+import that mirrors the file structures: each table repeats the textual
+composite identifiers (``IL4_855:1:293:426:864``-style read names) just
+as the files do. This is the design whose storage *doubles* in Table 1.
+
+Clustered-index choice is a parameter (the paper's physical-data-
+independence point): alignments may be clustered by *position* (feeds
+the sliding-window consensus without a sort) or by *read id* (feeds the
+alignment ⋈ read merge join).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..engine.database import Database
+
+#: the paper's FILESTREAM filegroup name
+FILESTREAM_GROUP = "FILESTREAMGROUP"
+
+AlignmentClustering = Literal["position", "read"]
+
+
+def create_workflow_tables(db: Database) -> None:
+    """Experiment / sample / flowcell provenance tables (shared by both
+    physical designs — this metadata is relational even in file-centric
+    labs, per Section 2.1)."""
+    db.execute(
+        """
+        CREATE TABLE Experiment (
+            e_id        INT PRIMARY KEY,
+            name        VARCHAR(100) NOT NULL,
+            kind        VARCHAR(20) NOT NULL,
+            description VARCHAR(MAX),
+            started     DATETIME
+        );
+        CREATE TABLE SampleGroup (
+            sg_e_id INT,
+            sg_id   INT,
+            name    VARCHAR(100),
+            PRIMARY KEY (sg_e_id, sg_id),
+            FOREIGN KEY (sg_e_id) REFERENCES Experiment (e_id)
+        );
+        CREATE TABLE Sample (
+            s_e_id   INT,
+            s_sg_id  INT,
+            s_id     INT,
+            name     VARCHAR(100),
+            organism VARCHAR(100),
+            PRIMARY KEY (s_e_id, s_sg_id, s_id),
+            FOREIGN KEY (s_e_id, s_sg_id) REFERENCES SampleGroup (sg_e_id, sg_id)
+        );
+        CREATE TABLE Flowcell (
+            fc_id      INT PRIMARY KEY,
+            instrument VARCHAR(50),
+            run_started DATETIME
+        );
+        CREATE TABLE Lane (
+            l_fc_id    INT,
+            l_lane     INT,
+            l_e_id     INT,
+            l_sg_id    INT,
+            l_s_id     INT,
+            is_control BIT,
+            PRIMARY KEY (l_fc_id, l_lane),
+            FOREIGN KEY (l_fc_id) REFERENCES Flowcell (fc_id)
+        );
+        """
+    )
+
+
+def create_reference_tables(db: Database) -> None:
+    """Reference genome and gene annotation (level-0 knowledge)."""
+    db.execute(
+        """
+        CREATE TABLE ReferenceSequence (
+            rs_id   INT PRIMARY KEY,
+            name    VARCHAR(50) NOT NULL,
+            length  INT NOT NULL,
+            seq     VARCHAR(MAX)
+        );
+        CREATE TABLE Gene (
+            g_id      INT PRIMARY KEY,
+            g_rs_id   INT NOT NULL,
+            name      VARCHAR(50),
+            start_pos INT,
+            end_pos   INT,
+            strand    CHAR(1),
+            FOREIGN KEY (g_rs_id) REFERENCES ReferenceSequence (rs_id)
+        );
+        """
+    )
+
+
+def create_normalized_schema(
+    db: Database,
+    compression: str = "NONE",
+    alignment_clustering: AlignmentClustering = "position",
+    sequence_type: str = "VARCHAR(500)",
+) -> None:
+    """The paper's normalized schema for level-1..3 data.
+
+    Parameters
+    ----------
+    compression:
+        ``NONE`` / ``ROW`` / ``PAGE`` on the bulk tables.
+    alignment_clustering:
+        ``position`` clusters ``Alignment`` by (experiment, sample,
+        reference, position) so the consensus UDA streams without a
+        sort; ``read`` clusters by read id so Alignment ⋈ Read is a
+        merge join (the paper's 1.6 M-alignments/s figure).
+    sequence_type:
+        The column type for sequence payloads — swap in the ``DnaSequence``
+        UDT to measure the bit-packed ablation.
+    """
+    with_clause = (
+        f" WITH (DATA_COMPRESSION = {compression})"
+        if compression != "NONE"
+        else ""
+    )
+    db.execute(
+        f"""
+        CREATE TABLE [Read] (
+            r_e_id         INT,
+            r_sg_id        INT,
+            r_s_id         INT,
+            r_id           BIGINT,
+            lane           INT,
+            tile           INT,
+            x              INT,
+            y              INT,
+            short_read_seq {sequence_type},
+            quals          VARCHAR(500),
+            PRIMARY KEY (r_e_id, r_sg_id, r_s_id, r_id)
+        ){with_clause}
+        """
+    )
+    db.execute(
+        f"""
+        CREATE TABLE Tag (
+            t_e_id      INT,
+            t_sg_id     INT,
+            t_s_id      INT,
+            t_id        BIGINT,
+            t_seq       {sequence_type},
+            t_frequency INT,
+            PRIMARY KEY (t_e_id, t_sg_id, t_s_id, t_id)
+        ){with_clause}
+        """
+    )
+    if alignment_clustering == "position":
+        alignment_pk = "a_e_id, a_sg_id, a_s_id, a_rs_id, a_pos, a_id"
+    elif alignment_clustering == "read":
+        alignment_pk = "a_e_id, a_sg_id, a_s_id, a_r_id, a_id"
+    else:
+        raise ValueError(f"unknown alignment clustering {alignment_clustering!r}")
+    db.execute(
+        f"""
+        CREATE TABLE Alignment (
+            a_e_id       INT,
+            a_sg_id      INT,
+            a_s_id       INT,
+            a_id         BIGINT,
+            a_r_id       BIGINT,
+            a_t_id       BIGINT,
+            a_rs_id      INT,
+            a_g_id       INT,
+            a_pos        INT,
+            a_strand     CHAR(1),
+            a_mismatches INT,
+            a_mapq       INT,
+            PRIMARY KEY ({alignment_pk})
+        ){with_clause}
+        """
+    )
+    db.execute(
+        f"""
+        CREATE TABLE GeneExpression (
+            ge_g_id     INT,
+            ge_e_id     INT,
+            ge_sg_id    INT,
+            ge_s_id     INT,
+            total_freq  INT,
+            tag_count   INT,
+            PRIMARY KEY (ge_e_id, ge_sg_id, ge_s_id, ge_g_id)
+        ){with_clause}
+        """
+    )
+    db.execute(
+        """
+        CREATE TABLE Variant (
+            v_e_id   INT,
+            v_sg_id  INT,
+            v_s_id   INT,
+            v_rs_id  INT,
+            v_pos    INT,
+            ref_base CHAR(1),
+            alt_base CHAR(1),
+            v_qual   INT,
+            PRIMARY KEY (v_e_id, v_sg_id, v_s_id, v_rs_id, v_pos)
+        )
+        """
+    )
+    db.execute(
+        """
+        CREATE TABLE Consensus (
+            c_e_id   INT,
+            c_sg_id  INT,
+            c_s_id   INT,
+            c_rs_id  INT,
+            c_start  INT,
+            c_seq    VARCHAR(MAX),
+            PRIMARY KEY (c_e_id, c_sg_id, c_s_id, c_rs_id)
+        )
+        """
+    )
+
+
+def create_one_to_one_schema(db: Database, compression: str = "NONE") -> None:
+    """The naive 1:1 import mirroring the files (Section 5.1).
+
+    Every table repeats the textual composite identifiers exactly as the
+    file formats materialise them — no synthetic keys, no normalization.
+    """
+    with_clause = (
+        f" WITH (DATA_COMPRESSION = {compression})"
+        if compression != "NONE"
+        else ""
+    )
+    db.execute(
+        f"""
+        CREATE TABLE ReadsFlat (
+            read_name      VARCHAR(80),
+            short_read_seq VARCHAR(500),
+            quals          VARCHAR(500),
+            PRIMARY KEY (read_name)
+        ){with_clause}
+        """
+    )
+    db.execute(
+        f"""
+        CREATE TABLE TagsFlat (
+            tag_name    VARCHAR(80),
+            t_seq       VARCHAR(500),
+            t_frequency INT,
+            PRIMARY KEY (tag_name)
+        ){with_clause}
+        """
+    )
+    db.execute(
+        f"""
+        CREATE TABLE AlignmentsFlat (
+            read_name    VARCHAR(80),
+            ref_name     VARCHAR(50),
+            a_pos        INT,
+            a_strand     CHAR(1),
+            a_mapq       INT,
+            a_mismatches INT,
+            read_length  INT,
+            a_seq        VARCHAR(500),
+            a_quals      VARCHAR(500),
+            PRIMARY KEY (read_name, ref_name, a_pos)
+        ){with_clause}
+        """
+    )
+    db.execute(
+        f"""
+        CREATE TABLE GeneExpressionFlat (
+            gene_name  VARCHAR(50),
+            exp_name   VARCHAR(100),
+            total_freq INT,
+            tag_count  INT,
+            PRIMARY KEY (gene_name, exp_name)
+        ){with_clause}
+        """
+    )
+
+
+def create_filestream_schema(db: Database) -> None:
+    """The hybrid design's ``ShortReadFiles`` table (paper Section 3.3)."""
+    db.execute(
+        f"""
+        CREATE TABLE ShortReadFiles (
+            guid   UNIQUEIDENTIFIER ROWGUIDCOL PRIMARY KEY,
+            sample INT,
+            lane   INT,
+            fmt    VARCHAR(10),
+            reads  VARBINARY(MAX) FILESTREAM
+        ) FILESTREAM_ON {FILESTREAM_GROUP}
+        """
+    )

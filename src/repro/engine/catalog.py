@@ -1,0 +1,59 @@
+"""The system catalog: tables, extensions, and FILESTREAM filegroups."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from .errors import BindError
+from .filestream import FileStreamStore
+from .schema import TableSchema
+from .table import Table
+from .udf import FunctionLibrary
+
+
+class Catalog:
+    """Name → object resolution for one database.
+
+    All lookups are case-insensitive (T-SQL identifier semantics);
+    original casing is preserved for display.
+    """
+
+    def __init__(self, filestream_store: Optional[FileStreamStore] = None):
+        self._tables: Dict[str, Table] = {}
+        self.functions = FunctionLibrary()
+        self.filestream_store = filestream_store
+
+    # -- tables -----------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise BindError(f"table {schema.name!r} already exists")
+        table = Table(
+            schema,
+            filestream_store=self.filestream_store,
+            udt_codec_lookup=self.functions.udt,
+        )
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise BindError(f"unknown table {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise BindError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return [t.schema.name for t in self._tables.values()]

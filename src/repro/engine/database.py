@@ -1,0 +1,462 @@
+"""The database facade.
+
+:class:`Database` ties the pieces together: catalog, FileStream store,
+SQL front end, planner, and executor. It is the object applications and
+the genomics warehouse layer talk to::
+
+    db = Database(data_dir="./mydb")
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(50))")
+    db.execute("INSERT INTO t VALUES (1, 'x')")
+    result = db.execute("SELECT name FROM t WHERE id = 1")
+    result.rows            # [('x',)]
+    print(db.explain("SELECT COUNT(*), name FROM t GROUP BY name"))
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .catalog import Catalog
+from .errors import BindError, ConstraintViolation, EngineError
+from .executor import MaterializedResult, PhysicalOperator
+from .expressions import ColumnRef, ExpressionCompiler
+from .filestream import FileStreamStore
+from .planner import Planner, make_binder
+from .schema import Column, ForeignKey, TableSchema
+from .sql import ast
+from .sql.parser import parse_sql
+from .table import Table
+from .types import (
+    MAX,
+    SqlType,
+    UdtCodec,
+    bigint_type,
+    binary_type,
+    bit_type,
+    char_type,
+    datetime_type,
+    float_type,
+    guid_type,
+    int_type,
+    smallint_type,
+    tinyint_type,
+    udt_type,
+    varbinary_type,
+    varchar_type,
+)
+from .udf import TableValuedFunction, UserDefinedAggregate
+
+_TYPE_FACTORIES = {
+    "int": lambda n: int_type(),
+    "bigint": lambda n: bigint_type(),
+    "smallint": lambda n: smallint_type(),
+    "tinyint": lambda n: tinyint_type(),
+    "bit": lambda n: bit_type(),
+    "float": lambda n: float_type(),
+    "real": lambda n: float_type(),
+    "char": lambda n: char_type(n or 1),
+    "nchar": lambda n: char_type(n or 1),
+    "varchar": lambda n: varchar_type(n if n is not None else MAX),
+    "nvarchar": lambda n: varchar_type(n if n is not None else MAX),
+    "binary": lambda n: binary_type(n or 1),
+    "varbinary": lambda n: varbinary_type(n if n is not None else MAX),
+    "uniqueidentifier": lambda n: guid_type(),
+    "datetime": lambda n: datetime_type(),
+}
+
+
+class Database:
+    """One database instance: catalog + storage + query processing.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory owning the FILESTREAM filegroup (a temp directory is
+        created when omitted).
+    default_dop:
+        Degree of parallelism the planner assumes when a query carries no
+        ``OPTION (MAXDOP n)`` hint. The paper's testbed had 4 cores.
+    """
+
+    def __init__(
+        self,
+        data_dir: Optional[os.PathLike | str] = None,
+        default_dop: int = 4,
+    ):
+        if data_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-db-")
+            data_dir = self._tempdir.name
+        else:
+            self._tempdir = None
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.filestream = FileStreamStore(self.data_dir / "filestream")
+        self.catalog = Catalog(filestream_store=self.filestream)
+        self.default_dop = default_dop
+        self._planner = Planner(self)
+        self._enforce_foreign_keys = True
+        self._procedures = None
+        self._register_builtin_overrides()
+
+    def close(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- built-in FILESTREAM-aware functions --------------------------------------------
+
+    def _register_builtin_overrides(self) -> None:
+        store = self.filestream
+
+        def pathname(value: Any) -> Any:
+            if value is None:
+                return None
+            if isinstance(value, uuid.UUID):
+                return store.path_name(value)
+            raise BindError("PathName() expects a FILESTREAM column")
+
+        def datalength(value: Any) -> Any:
+            if isinstance(value, uuid.UUID) and store.exists(value):
+                return store.data_length(value)
+            from .expressions import _datalength
+
+            return _datalength(value)
+
+        self.catalog.functions.register_scalar("PathName", pathname)
+        self.catalog.functions.register_scalar("DATALENGTH", datalength)
+
+    # -- extension registration -----------------------------------------------------------
+
+    def register_scalar(
+        self, name: str, func: Callable[..., Any], **kwargs
+    ) -> None:
+        self.catalog.functions.register_scalar(name, func, **kwargs)
+
+    def register_tvf(self, tvf: TableValuedFunction) -> None:
+        self.catalog.functions.register_tvf(tvf)
+
+    def register_uda(self, uda_class: Type[UserDefinedAggregate]) -> None:
+        self.catalog.functions.register_uda(uda_class)
+
+    def register_udt(self, codec: UdtCodec) -> None:
+        self.catalog.functions.register_udt(codec)
+
+    @property
+    def procedures(self):
+        """The stored-procedure registry (interpreted + compiled)."""
+        if self._procedures is None:
+            from .procedural import ProcedureRegistry
+
+            self._procedures = ProcedureRegistry(self)
+        return self._procedures
+
+    def call_procedure(self, name: str, *args: Any) -> Any:
+        return self.procedures.call(name, *args)
+
+    # -- SQL execution ---------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Any:
+        """Execute a SQL script; returns the last statement's result.
+
+        SELECT → :class:`MaterializedResult`; EXPLAIN → plan text;
+        DML/DDL → affected row count.
+        """
+        result: Any = None
+        for stmt in parse_sql(sql):
+            result = self._execute_statement(stmt)
+        return result
+
+    def query(self, sql: str) -> List[Tuple[Any, ...]]:
+        """Execute a single SELECT and return its rows."""
+        result = self.execute(sql)
+        if not isinstance(result, MaterializedResult):
+            raise EngineError("query() requires a SELECT statement")
+        return result.rows
+
+    def scalar(self, sql: str) -> Any:
+        """First column of the first row of a SELECT."""
+        rows = self.query(sql)
+        if not rows:
+            return None
+        return rows[0][0]
+
+    def explain(self, sql: str) -> str:
+        """Render the physical plan for a SELECT statement."""
+        statements = parse_sql(sql)
+        if len(statements) != 1:
+            raise EngineError("explain() takes exactly one statement")
+        stmt = statements[0]
+        if isinstance(stmt, ast.ExplainStmt):
+            stmt = stmt.select
+        if not isinstance(stmt, ast.SelectStmt):
+            raise EngineError("explain() requires a SELECT statement")
+        return self._planner.explain_select(stmt)
+
+    def plan(self, sql: str) -> PhysicalOperator:
+        """Return the physical operator tree for a SELECT (not executed)."""
+        statements = parse_sql(sql)
+        stmt = statements[0]
+        if not isinstance(stmt, ast.SelectStmt):
+            raise EngineError("plan() requires a SELECT statement")
+        return self._planner.plan_select(stmt)
+
+    def _execute_statement(self, stmt) -> Any:
+        if isinstance(stmt, ast.SelectStmt):
+            op = self._planner.plan_select(stmt)
+            columns = [c.rsplit(".", 1)[-1] for c in op.columns]
+            return MaterializedResult(columns, list(op))
+        if isinstance(stmt, ast.ExplainStmt):
+            return self._planner.explain_select(stmt.select)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._execute_update(stmt)
+        if isinstance(stmt, ast.CreateTableStmt):
+            self._execute_create_table(stmt)
+            return 0
+        if isinstance(stmt, ast.CreateIndexStmt):
+            self.catalog.table(stmt.table).create_index(stmt.name, stmt.columns)
+            return 0
+        if isinstance(stmt, ast.DropTableStmt):
+            self.catalog.drop_table(stmt.name)
+            return 0
+        if isinstance(stmt, ast.TruncateStmt):
+            table = self.catalog.table(stmt.name)
+            schema = table.schema
+            self.catalog.drop_table(stmt.name)
+            self.catalog.create_table(schema)
+            return 0
+        raise EngineError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- DDL ---------------------------------------------------------------------------------
+
+    def _resolve_type(self, col: ast.ColumnDef) -> SqlType:
+        factory = _TYPE_FACTORIES.get(col.type_name.lower())
+        if factory is None:
+            if self.catalog.functions.has_udt(col.type_name):
+                return udt_type(col.type_name)
+            raise BindError(f"unknown type {col.type_name!r}")
+        sql_type = factory(col.length)
+        if col.filestream:
+            if not (sql_type.kind == "VARBINARY" and sql_type.length == MAX):
+                raise BindError(
+                    "FILESTREAM requires VARBINARY(MAX) "
+                    f"(column {col.name!r})"
+                )
+            sql_type = varbinary_type(MAX, filestream=True)
+        return sql_type
+
+    def _execute_create_table(self, stmt: ast.CreateTableStmt) -> Table:
+        columns = []
+        for col in stmt.columns:
+            columns.append(
+                Column(
+                    name=col.name,
+                    sql_type=self._resolve_type(col),
+                    nullable=col.nullable and col.name not in stmt.primary_key,
+                    identity=col.identity,
+                    rowguidcol=col.rowguidcol,
+                )
+            )
+        foreign_keys = [
+            ForeignKey(tuple(fk.columns), fk.parent_table, tuple(fk.parent_columns))
+            for fk in stmt.foreign_keys
+        ]
+        schema = TableSchema(
+            name=stmt.name,
+            columns=columns,
+            primary_key=stmt.primary_key,
+            foreign_keys=foreign_keys,
+            compression=stmt.compression,
+            filestream_group=stmt.filestream_group,
+        )
+        return self.catalog.create_table(schema)
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Programmatic CREATE TABLE."""
+        return self.catalog.create_table(schema)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- DML ---------------------------------------------------------------------------------
+
+    def _full_rows(
+        self,
+        table: Table,
+        columns: Sequence[str],
+        value_rows: Iterable[Sequence[Any]],
+    ):
+        schema = table.schema
+        if not columns:
+            for row in value_rows:
+                yield row
+            return
+        indexes = [schema.column_index(c) for c in columns]
+        width = len(schema.columns)
+        for row in value_rows:
+            if len(row) != len(indexes):
+                raise ConstraintViolation(
+                    f"INSERT supplies {len(row)} values for {len(indexes)} columns"
+                )
+            full: List[Any] = [None] * width
+            for index, value in zip(indexes, row):
+                full[index] = value
+            yield full
+
+    def _execute_insert(self, stmt: ast.InsertStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        if stmt.values is not None:
+
+            def constants_only(ref: ColumnRef) -> int:
+                raise BindError(
+                    f"INSERT VALUES must be constant expressions, found {ref}"
+                )
+
+            compiler = ExpressionCompiler(constants_only, self.catalog.functions)
+            value_rows = [
+                [compiler.compile(expr)(()) for expr in row]
+                for row in stmt.values
+            ]
+        else:
+            op = self._planner.plan_select(stmt.select)
+            value_rows = list(op)
+        count = 0
+        for full in self._full_rows(table, stmt.columns, value_rows):
+            self._check_foreign_keys(table, full)
+            table.insert(full)
+            count += 1
+        table.finish_bulk_load()
+        return count
+
+    def insert_row(self, table_name: str, row: Sequence[Any]):
+        """Programmatic single-row insert with FK enforcement (the path
+        SQL INSERT takes, minus parsing)."""
+        table = self.catalog.table(table_name)
+        self._check_foreign_keys(table, row)
+        return table.insert(row)
+
+    def _check_foreign_keys(self, table: Table, row: Sequence[Any]) -> None:
+        if not self._enforce_foreign_keys:
+            return
+        schema = table.schema
+        for fk in schema.foreign_keys:
+            values = tuple(
+                row[schema.column_index(c)] for c in fk.columns
+            )
+            if any(v is None for v in values):
+                continue
+            parent = self.catalog.table(fk.parent_table)
+            if tuple(parent.schema.primary_key) == fk.parent_columns:
+                if parent.get(values) is None:
+                    raise ConstraintViolation(
+                        f"FK violation: {schema.name}{fk.columns} -> "
+                        f"{fk.parent_table}{fk.parent_columns} "
+                        f"missing parent {values!r}"
+                    )
+            # FKs onto non-PK parent keys are not enforced (documented)
+
+    def set_foreign_key_enforcement(self, enabled: bool) -> None:
+        """Bulk loads may disable FK checks, as ``ALTER TABLE ... NOCHECK
+        CONSTRAINT`` would."""
+        self._enforce_foreign_keys = enabled
+
+    def _execute_update(self, stmt: ast.UpdateStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        from .executor import TableScan
+
+        scan = TableScan(table)
+        compiler = ExpressionCompiler(
+            make_binder(scan), self.catalog.functions
+        )
+        assignments = [
+            (table.schema.column_index(col), compiler.compile(expr))
+            for col, expr in stmt.assignments
+        ]
+        if stmt.where is None:
+            predicate = lambda row: True
+        else:
+            where_fn = compiler.compile(stmt.where)
+            predicate = lambda row: where_fn(row) is True
+
+        def updater(row):
+            updated = list(row)
+            for index, fn in assignments:
+                updated[index] = fn(row)  # RHS sees the *old* row
+            return updated
+
+        count = table.update_where(predicate, updater)
+        table.finish_bulk_load()
+        return count
+
+    def _execute_delete(self, stmt: ast.DeleteStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        if stmt.where is None:
+            return table.delete_where(lambda row: True)
+        from .executor import TableScan
+
+        scan = TableScan(table)
+        compiler = ExpressionCompiler(
+            make_binder(scan), self.catalog.functions
+        )
+        predicate = compiler.compile(stmt.where)
+        return table.delete_where(lambda row: predicate(row) is True)
+
+    # -- bulk import --------------------------------------------------------------------------
+
+    def read_bulk_file(self, path: str) -> bytes:
+        """Read a file for ``OPENROWSET(BULK ..., SINGLE_BLOB)``."""
+        return Path(path).read_bytes()
+
+    def bulk_insert_filestream(
+        self,
+        table_name: str,
+        column_values: dict,
+        filestream_column: str,
+        source_path: os.PathLike | str,
+    ) -> uuid.UUID:
+        """Import a file straight into a FILESTREAM column without loading
+        it into memory (the fast path behind the paper's bulk import)."""
+        table = self.catalog.table(table_name)
+        schema = table.schema
+        guid = self.filestream.create_from_file(source_path)
+        row: List[Any] = [None] * len(schema.columns)
+        for name, value in column_values.items():
+            row[schema.column_index(name)] = value
+        row[schema.column_index(filestream_column)] = guid
+        table.insert(row)
+        return guid
+
+    # -- administration --------------------------------------------------------------------------
+
+    def storage_report(self) -> List[dict]:
+        """Per-table storage statistics (the raw material of Tables 1/2)."""
+        report = []
+        for table in self.catalog.tables():
+            report.append(
+                {
+                    "table": table.schema.name,
+                    "rows": table.row_count,
+                    "compression": table.schema.compression,
+                    "data_bytes": table.stored_bytes(),
+                    "uncompressed_bytes": table.uncompressed_bytes(),
+                    "filestream_bytes": table.filestream_bytes(),
+                }
+            )
+        return report
+
+    def checkdb(self) -> List[str]:
+        """DBCC CHECKDB-style consistency pass over FILESTREAM storage."""
+        return self.filestream.consistency_check()

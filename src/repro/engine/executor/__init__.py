@@ -1,0 +1,54 @@
+"""Volcano-style physical operators."""
+
+from .aggregates import AggregateSpec, AggregateState
+from .apply import CrossApply, TvfScan
+from .base import MaterializedResult, PhysicalOperator
+from .joins import HashJoin, MergeJoin, NestedLoopJoin
+from .operators import (
+    ClusteredIndexScan,
+    ClusteredIndexSeek,
+    Distinct,
+    Filter,
+    HashAggregate,
+    Project,
+    RowNumberWindow,
+    SecondaryIndexSeek,
+    Sort,
+    StreamAggregate,
+    TableScan,
+    Top,
+)
+from .parallel import (
+    ParallelHashAggregate,
+    ParallelMergeUda,
+    ParallelStats,
+    lpt_makespan,
+)
+
+__all__ = [
+    "AggregateSpec",
+    "AggregateState",
+    "ClusteredIndexScan",
+    "ClusteredIndexSeek",
+    "CrossApply",
+    "Distinct",
+    "Filter",
+    "HashAggregate",
+    "HashJoin",
+    "MaterializedResult",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "ParallelHashAggregate",
+    "ParallelMergeUda",
+    "ParallelStats",
+    "PhysicalOperator",
+    "Project",
+    "RowNumberWindow",
+    "SecondaryIndexSeek",
+    "Sort",
+    "StreamAggregate",
+    "TableScan",
+    "Top",
+    "TvfScan",
+    "lpt_makespan",
+]

@@ -1,0 +1,267 @@
+"""Aggregate state machines.
+
+Built-in aggregates (COUNT/SUM/MIN/MAX/AVG) and the adapter that runs a
+registered UDA under the same interface. Every state supports ``merge``
+so the exchange operator can combine partial aggregates computed on
+separate partitions — the property that lets the optimizer parallelise
+UDAs "just like built-in aggregates" (paper Section 2.3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from ..errors import BindError, UdfError
+from ..udf import UserDefinedAggregate
+
+
+class AggregateState:
+    """One group's accumulator for one aggregate expression."""
+
+    def add(self, row: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountStar(AggregateState):
+    __slots__ = ("count",)
+
+    def __init__(self, _fn=None):
+        self.count = 0
+
+    def add(self, row):
+        self.count += 1
+
+    def merge(self, other):
+        self.count += other.count
+
+    def result(self):
+        return self.count
+
+
+class _CountValue(AggregateState):
+    __slots__ = ("count", "_fn")
+
+    def __init__(self, fn):
+        self.count = 0
+        self._fn = fn
+
+    def add(self, row):
+        if self._fn(row) is not None:
+            self.count += 1
+
+    def merge(self, other):
+        self.count += other.count
+
+    def result(self):
+        return self.count
+
+
+class _CountDistinct(AggregateState):
+    __slots__ = ("values", "_fn")
+
+    def __init__(self, fn):
+        self.values = set()
+        self._fn = fn
+
+    def add(self, row):
+        value = self._fn(row)
+        if value is not None:
+            self.values.add(value)
+
+    def merge(self, other):
+        self.values |= other.values
+
+    def result(self):
+        return len(self.values)
+
+
+class _Sum(AggregateState):
+    __slots__ = ("total", "seen", "_fn")
+
+    def __init__(self, fn):
+        self.total = 0
+        self.seen = False
+        self._fn = fn
+
+    def add(self, row):
+        value = self._fn(row)
+        if value is not None:
+            self.total += value
+            self.seen = True
+
+    def merge(self, other):
+        self.total += other.total
+        self.seen = self.seen or other.seen
+
+    def result(self):
+        return self.total if self.seen else None
+
+
+class _Min(AggregateState):
+    __slots__ = ("best", "_fn")
+
+    def __init__(self, fn):
+        self.best = None
+        self._fn = fn
+
+    def add(self, row):
+        value = self._fn(row)
+        if value is not None and (self.best is None or value < self.best):
+            self.best = value
+
+    def merge(self, other):
+        if other.best is not None and (self.best is None or other.best < self.best):
+            self.best = other.best
+
+    def result(self):
+        return self.best
+
+
+class _Max(AggregateState):
+    __slots__ = ("best", "_fn")
+
+    def __init__(self, fn):
+        self.best = None
+        self._fn = fn
+
+    def add(self, row):
+        value = self._fn(row)
+        if value is not None and (self.best is None or value > self.best):
+            self.best = value
+
+    def merge(self, other):
+        if other.best is not None and (self.best is None or other.best > self.best):
+            self.best = other.best
+
+    def result(self):
+        return self.best
+
+
+class _Avg(AggregateState):
+    __slots__ = ("total", "count", "_fn")
+
+    def __init__(self, fn):
+        self.total = 0.0
+        self.count = 0
+        self._fn = fn
+
+    def add(self, row):
+        value = self._fn(row)
+        if value is not None:
+            self.total += value
+            self.count += 1
+
+    def merge(self, other):
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+
+class _UdaState(AggregateState):
+    """Adapter running a :class:`UserDefinedAggregate` instance."""
+
+    __slots__ = ("instance", "_fns")
+
+    def __init__(self, uda_class: Type[UserDefinedAggregate], fns):
+        self.instance = uda_class()
+        self.instance.init()
+        self._fns = fns
+
+    def add(self, row):
+        self.instance.accumulate(*[fn(row) for fn in self._fns])
+
+    def merge(self, other: "_UdaState"):
+        if not self.instance.parallel_safe:
+            raise UdfError(
+                f"UDA {self.instance.name!r} is not parallel-safe but was "
+                "asked to merge partial states"
+            )
+        self.instance.merge(other.instance)
+
+    def result(self):
+        return self.instance.terminate()
+
+
+class AggregateSpec:
+    """Describes one aggregate expression in a GROUP BY query.
+
+    Parameters
+    ----------
+    name:
+        Aggregate name (``count``, ``sum``, ... or a registered UDA name).
+    arg_fns:
+        Compiled argument accessors (empty for ``COUNT(*)``).
+    star / distinct:
+        ``COUNT(*)`` / ``COUNT(DISTINCT x)`` flags.
+    uda_class:
+        The UDA class when ``name`` is user-defined.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arg_fns: Sequence[Callable[[Sequence[Any]], Any]],
+        star: bool = False,
+        distinct: bool = False,
+        uda_class: Optional[Type[UserDefinedAggregate]] = None,
+    ):
+        self.name = name.lower()
+        self.arg_fns = list(arg_fns)
+        self.star = star
+        self.distinct = distinct
+        self.uda_class = uda_class
+        if uda_class is None and self.name not in (
+            "count",
+            "count_big",
+            "sum",
+            "min",
+            "max",
+            "avg",
+        ):
+            raise BindError(f"unknown aggregate {name!r}")
+
+    @property
+    def parallel_safe(self) -> bool:
+        if self.uda_class is not None:
+            return bool(self.uda_class.parallel_safe)
+        return True
+
+    @property
+    def requires_ordered_input(self) -> bool:
+        return bool(
+            self.uda_class is not None and self.uda_class.requires_ordered_input
+        )
+
+    def new_state(self) -> AggregateState:
+        if self.uda_class is not None:
+            return _UdaState(self.uda_class, self.arg_fns)
+        fn = self.arg_fns[0] if self.arg_fns else None
+        if self.name in ("count", "count_big"):
+            if self.star:
+                return _CountStar()
+            if self.distinct:
+                return _CountDistinct(fn)
+            return _CountValue(fn)
+        if self.name == "sum":
+            return _Sum(fn)
+        if self.name == "min":
+            return _Min(fn)
+        if self.name == "max":
+            return _Max(fn)
+        if self.name == "avg":
+            return _Avg(fn)
+        raise BindError(f"unknown aggregate {self.name!r}")
+
+    def describe(self) -> str:
+        if self.star:
+            return f"{self.name.upper()}(*)"
+        inner = "DISTINCT ..." if self.distinct else "..."
+        return f"{self.name.upper()}({inner})"

@@ -1,0 +1,104 @@
+"""Physical operator base class (Volcano / iterator model).
+
+Every operator exposes:
+
+- ``columns`` — output column names, optionally qualified (``alias.name``)
+  so the binder can resolve references against the operator's output;
+- iteration — ``__iter__`` yields result tuples, pulling from children
+  one row at a time (streaming, non-blocking unless noted);
+- ``explain_node()`` — a one-line label plus children, rendered by the
+  planner into the text query plans that stand in for the paper's
+  Figures 9 and 10.
+
+Operators also count the rows they emit (``rows_out``) so EXPLAIN output
+and the benchmarks can report actual cardinalities, e.g. the size of the
+pivot plan's intermediate result in Section 5.3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence, Tuple
+
+
+class PhysicalOperator:
+    """Base class for all physical operators."""
+
+    #: output column names; qualified ("a.x") or bare
+    columns: List[str]
+    #: does iteration deliver rows ordered by these output column indexes?
+    ordering: Tuple[int, ...] = ()
+    #: operators that must consume their entire input before producing
+    #: the first output row (sorts, hash builds) mark themselves blocking
+    blocking: bool = False
+
+    def __init__(self):
+        self.rows_out = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        iterator = self.execute()
+        for row in iterator:
+            self.rows_out += 1
+            yield row
+
+    def execute(self) -> Iterator[Tuple[Any, ...]]:
+        raise NotImplementedError
+
+    # -- explain -----------------------------------------------------------------
+
+    def explain_node(self) -> Tuple[str, Sequence["PhysicalOperator"]]:
+        """``(label, children)`` for plan rendering."""
+        return type(self).__name__, self.children()
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """Render this subtree as an indented text plan."""
+        label, kids = self.explain_node()
+        prefix = "  " * indent
+        label_lines = label.split("\n")
+        lines = [prefix + "-> " + label_lines[0]]
+        for continuation in label_lines[1:]:
+            lines.append(prefix + "   " + continuation.strip())
+        for kid in kids:
+            lines.append(kid.explain(indent + 1))
+        return "\n".join(lines)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        """Resolve a bare or qualified column name to an output index."""
+        lowered = name.lower()
+        matches = [
+            i
+            for i, col in enumerate(self.columns)
+            if col.lower() == lowered or col.lower().split(".")[-1] == lowered
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(name)
+        raise KeyError(f"ambiguous column {name!r}")
+
+
+class MaterializedResult(PhysicalOperator):
+    """A fully materialised rowset (used for VALUES lists, cached results,
+    and as the output wrapper the database hands back to callers)."""
+
+    def __init__(self, columns: Sequence[str], rows: Sequence[Tuple[Any, ...]]):
+        super().__init__()
+        self.columns = list(columns)
+        self._rows = list(rows)
+
+    def execute(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        return self._rows
+
+    def explain_node(self):
+        return f"Constant Scan ({len(self._rows)} rows)", ()

@@ -1,0 +1,203 @@
+"""Join operators: nested-loop, hash join, and merge join.
+
+The paper's Figure 10 plan hinges on the merge join: with clustered
+indexes chosen so both inputs arrive ordered on the join key, the join
+streams at ~1.6 M alignments/s on the authors' box without any build
+phase. The hash join is the fallback when order is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .base import PhysicalOperator
+
+RowFn = Callable[[Sequence[Any]], Any]
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Inner nested-loop join with an arbitrary residual predicate.
+
+    The inner input is materialised once; used only for small inners or
+    non-equi predicates.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        predicate: Optional[RowFn] = None,
+    ):
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.columns = list(outer.columns) + list(inner.columns)
+        self.ordering = outer.ordering
+
+    def execute(self):
+        inner_rows = list(self.inner)
+        predicate = self.predicate
+        for outer_row in self.outer:
+            for inner_row in inner_rows:
+                combined = outer_row + inner_row
+                if predicate is None or predicate(combined) is True:
+                    yield combined
+
+    def children(self):
+        return (self.outer, self.inner)
+
+    def explain_node(self):
+        return "Nested Loops (Inner Join)", (self.outer, self.inner)
+
+
+class HashJoin(PhysicalOperator):
+    """Hash Match (Inner Join) on equality keys.
+
+    Builds on the right input, probes with the left. NULL keys never
+    match (SQL equality semantics).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key_fns: Sequence[RowFn],
+        right_key_fns: Sequence[RowFn],
+        residual: Optional[RowFn] = None,
+    ):
+        super().__init__()
+        if len(left_key_fns) != len(right_key_fns):
+            raise ExecutionError("join key arity mismatch")
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.residual = residual
+        self.columns = list(left.columns) + list(right.columns)
+        # probing streams the left input in order; matches are emitted
+        # per left row, so the left ordering survives the join
+        self.ordering = left.ordering
+
+    def execute(self):
+        build: dict = {}
+        right_keys = self.right_key_fns
+        for row in self.right:
+            key = tuple(fn(row) for fn in right_keys)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(row)
+        left_keys = self.left_key_fns
+        residual = self.residual
+        for left_row in self.left:
+            key = tuple(fn(left_row) for fn in left_keys)
+            if any(v is None for v in key):
+                continue
+            matches = build.get(key)
+            if not matches:
+                continue
+            for right_row in matches:
+                combined = left_row + right_row
+                if residual is None or residual(combined) is True:
+                    yield combined
+
+    def children(self):
+        return (self.left, self.right)
+
+    def explain_node(self):
+        return "Hash Match (Inner Join)", (self.left, self.right)
+
+
+class MergeJoin(PhysicalOperator):
+    """Merge Join (Inner Join) over inputs pre-ordered on the join keys.
+
+    Duplicate keys on both sides are handled by buffering the right-side
+    group. Streaming and non-blocking: rows flow as soon as keys align,
+    which is what lets the consensus plan feed its ordered UDA without
+    a sort.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key_fns: Sequence[RowFn],
+        right_key_fns: Sequence[RowFn],
+        residual: Optional[RowFn] = None,
+    ):
+        super().__init__()
+        if len(left_key_fns) != len(right_key_fns):
+            raise ExecutionError("join key arity mismatch")
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.residual = residual
+        self.columns = list(left.columns) + list(right.columns)
+        self.ordering = left.ordering
+
+    @staticmethod
+    def _key_cmp(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> int:
+        # NULL keys never join; treat them as smallest so they are skipped
+        for x, y in zip(a, b):
+            xk = (0, 0) if x is None else (1, x)
+            yk = (0, 0) if y is None else (1, y)
+            if xk < yk:
+                return -1
+            if xk > yk:
+                return 1
+        return 0
+
+    def execute(self):
+        left_iter = iter(self.left)
+        right_iter = iter(self.right)
+        left_keys = self.left_key_fns
+        right_keys = self.right_key_fns
+        residual = self.residual
+
+        def next_or_none(iterator):
+            return next(iterator, None)
+
+        left_row = next_or_none(left_iter)
+        right_row = next_or_none(right_iter)
+        while left_row is not None and right_row is not None:
+            lkey = tuple(fn(left_row) for fn in left_keys)
+            rkey = tuple(fn(right_row) for fn in right_keys)
+            if any(v is None for v in lkey):
+                left_row = next_or_none(left_iter)
+                continue
+            if any(v is None for v in rkey):
+                right_row = next_or_none(right_iter)
+                continue
+            cmp = self._key_cmp(lkey, rkey)
+            if cmp < 0:
+                left_row = next_or_none(left_iter)
+            elif cmp > 0:
+                right_row = next_or_none(right_iter)
+            else:
+                # buffer the right-side duplicate group for this key
+                group: List[Tuple[Any, ...]] = [right_row]
+                right_row = next_or_none(right_iter)
+                while right_row is not None:
+                    nkey = tuple(fn(right_row) for fn in right_keys)
+                    if self._key_cmp(nkey, rkey) == 0:
+                        group.append(right_row)
+                        right_row = next_or_none(right_iter)
+                    else:
+                        break
+                while left_row is not None:
+                    ckey = tuple(fn(left_row) for fn in left_keys)
+                    if self._key_cmp(ckey, rkey) != 0:
+                        break
+                    for match in group:
+                        combined = left_row + match
+                        if residual is None or residual(combined) is True:
+                            yield combined
+                    left_row = next_or_none(left_iter)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def explain_node(self):
+        return "Merge Join (Inner Join)", (self.left, self.right)

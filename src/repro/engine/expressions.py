@@ -1,0 +1,669 @@
+"""Scalar expression AST and evaluation.
+
+Expressions are parsed by the SQL front end into the dataclasses below,
+then *compiled* into Python closures ``row -> value`` against a binder
+that resolves column references to row positions. Compilation (rather
+than tree-walking per row) keeps scans of hundreds of thousands of rows
+tolerable in pure Python.
+
+NULL follows SQL three-valued logic: comparisons and arithmetic on NULL
+yield NULL; ``AND``/``OR`` use Kleene logic; ``WHERE`` keeps a row only
+when the predicate is exactly true.
+"""
+
+from __future__ import annotations
+
+import operator
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .errors import BindError, ExecutionError
+from .udf import FunctionLibrary
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BoundRef(Expr):
+    """A reference to a position in the current operator's output row.
+
+    Produced by the planner when it substitutes already-computed values
+    (aggregate results, window outputs, subquery columns) into an
+    expression tree before compiling it.
+    """
+
+    index: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '/', '%', '=', '<>', '<', '<=', '>', '>=', 'AND', 'OR'
+    left: Expr
+    right: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT', '-'
+    operand: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A scalar function call — built-in or registered UDF."""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """An aggregate in a SELECT/HAVING list: COUNT/SUM/... or a UDA.
+
+    ``star`` marks ``COUNT(*)``. ``distinct`` marks ``COUNT(DISTINCT x)``.
+    The planner replaces these with references into aggregate output.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class WindowCall(Expr):
+    """``ROW_NUMBER() OVER (ORDER BY ...)`` — the one window function the
+    paper's Query 1 needs."""
+
+    name: str
+    order_by: Tuple[Tuple[Expr, bool], ...] = ()  # (expr, descending)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(e for e, _ in self.order_by)
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand, *self.items)
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand, self.pattern)
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Searched CASE: WHEN cond THEN value ... ELSE default END."""
+
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = []
+        for cond, value in self.whens:
+            out.extend((cond, value))
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# helpers for tree inspection
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr):
+    """Yield every node of the expression tree (pre-order)."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def rewrite(expr: Expr, transform: Callable[["Expr"], Optional["Expr"]]) -> Expr:
+    """Rebuild an expression tree, replacing nodes bottom-up.
+
+    ``transform`` is called on every (already child-rewritten) node; it
+    returns a replacement node or ``None`` to keep the node as-is.
+    """
+    if isinstance(expr, BinaryOp):
+        expr = BinaryOp(expr.op, rewrite(expr.left, transform), rewrite(expr.right, transform))
+    elif isinstance(expr, UnaryOp):
+        expr = UnaryOp(expr.op, rewrite(expr.operand, transform))
+    elif isinstance(expr, FuncCall):
+        expr = FuncCall(expr.name, tuple(rewrite(a, transform) for a in expr.args))
+    elif isinstance(expr, AggregateCall):
+        expr = AggregateCall(
+            expr.name,
+            tuple(rewrite(a, transform) for a in expr.args),
+            star=expr.star,
+            distinct=expr.distinct,
+        )
+    elif isinstance(expr, WindowCall):
+        expr = WindowCall(
+            expr.name,
+            tuple((rewrite(e, transform), d) for e, d in expr.order_by),
+        )
+    elif isinstance(expr, IsNull):
+        expr = IsNull(rewrite(expr.operand, transform), negated=expr.negated)
+    elif isinstance(expr, Between):
+        expr = Between(
+            rewrite(expr.operand, transform),
+            rewrite(expr.low, transform),
+            rewrite(expr.high, transform),
+        )
+    elif isinstance(expr, InList):
+        expr = InList(
+            rewrite(expr.operand, transform),
+            tuple(rewrite(i, transform) for i in expr.items),
+        )
+    elif isinstance(expr, Like):
+        expr = Like(
+            rewrite(expr.operand, transform),
+            rewrite(expr.pattern, transform),
+            negated=expr.negated,
+        )
+    elif isinstance(expr, Case):
+        expr = Case(
+            tuple(
+                (rewrite(c, transform), rewrite(v, transform))
+                for c, v in expr.whens
+            ),
+            rewrite(expr.default, transform) if expr.default is not None else None,
+        )
+    replacement = transform(expr)
+    return replacement if replacement is not None else expr
+
+
+def find_aggregates(expr: Expr) -> List[AggregateCall]:
+    return [node for node in walk(expr) if isinstance(node, AggregateCall)]
+
+
+def find_windows(expr: Expr) -> List[WindowCall]:
+    return [node for node in walk(expr) if isinstance(node, WindowCall)]
+
+
+def column_refs(expr: Expr) -> List[ColumnRef]:
+    return [node for node in walk(expr) if isinstance(node, ColumnRef)]
+
+
+# ---------------------------------------------------------------------------
+# built-in scalar functions (T-SQL flavoured)
+# ---------------------------------------------------------------------------
+
+
+def _charindex(needle: Any, haystack: Any, start: Any = 1) -> Any:
+    """T-SQL CHARINDEX: 1-based position of needle, 0 when absent."""
+    if needle is None or haystack is None:
+        return None
+    pos = haystack.find(needle, max(int(start) - 1, 0))
+    return pos + 1
+
+
+def _substring(text: Any, start: Any, length: Any) -> Any:
+    if text is None or start is None or length is None:
+        return None
+    begin = max(int(start) - 1, 0)
+    return text[begin : begin + int(length)]
+
+
+def _datalength(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, uuid.UUID):
+        return 16
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4 if -(2**31) <= value < 2**31 else 8
+    if isinstance(value, float):
+        return 8
+    return len(str(value))
+
+
+def _isnull(value: Any, replacement: Any) -> Any:
+    return replacement if value is None else value
+
+
+def _coalesce(*args: Any) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _len(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return len(value.rstrip(" "))  # T-SQL LEN ignores trailing spaces
+    return len(value)
+
+
+_BUILTINS: dict[str, Callable[..., Any]] = {
+    "charindex": _charindex,
+    "substring": _substring,
+    "datalength": _datalength,
+    "isnull": _isnull,
+    "coalesce": _coalesce,
+    "len": _len,
+    "upper": lambda v: None if v is None else v.upper(),
+    "lower": lambda v: None if v is None else v.lower(),
+    "ltrim": lambda v: None if v is None else v.lstrip(),
+    "rtrim": lambda v: None if v is None else v.rstrip(),
+    "abs": lambda v: None if v is None else abs(v),
+    "round": lambda v, n=0: None if v is None else round(v, int(n)),
+    "replace": lambda s, a, b: None
+    if s is None or a is None or b is None
+    else s.replace(a, b),
+    "reverse": lambda v: None if v is None else v[::-1],
+    "newid": uuid.uuid4,
+    "str": lambda v: None if v is None else str(v),
+    "floor": lambda v: None if v is None else int(v // 1),
+    "ceiling": lambda v: None if v is None else -int(-v // 1),
+    "sqrt": lambda v: None if v is None else v**0.5,
+    "log": lambda v: None if v is None else __import__("math").log(v),
+    "power": lambda b, e: None if b is None or e is None else b**e,
+    "sign": lambda v: None if v is None else (v > 0) - (v < 0),
+    "left": lambda s, n: None if s is None or n is None else s[: int(n)],
+    "right": lambda s, n: None if s is None or n is None else s[-int(n) :] if n else "",
+    "concat": lambda *a: "".join("" if v is None else str(v) for v in a),
+}
+
+#: aggregate names handled natively by the aggregation operators
+BUILTIN_AGGREGATES = {"count", "sum", "min", "max", "avg", "count_big"}
+
+
+def is_builtin_scalar(name: str) -> bool:
+    return name.lower() in _BUILTINS
+
+
+# ---------------------------------------------------------------------------
+# LIKE pattern
+# ---------------------------------------------------------------------------
+
+
+def like_match(value: Optional[str], pattern: Optional[str]) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_`` wildcards (no escape support)."""
+    if value is None or pattern is None:
+        return None
+    import re
+
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    return re.fullmatch(regex, value, flags=re.DOTALL) is not None
+
+
+# ---------------------------------------------------------------------------
+# compiler
+# ---------------------------------------------------------------------------
+
+#: a binder resolves a column reference to its index in the input row
+Binder = Callable[[ColumnRef], int]
+
+_ARITH = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+}
+
+_COMPARE = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class ExpressionCompiler:
+    """Compiles expression trees into ``row -> value`` closures."""
+
+    def __init__(self, binder: Binder, library: Optional[FunctionLibrary] = None):
+        self._binder = binder
+        self._library = library
+
+    def compile(self, expr: Expr) -> Callable[[Sequence[Any]], Any]:
+        method = getattr(self, f"_compile_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise BindError(f"cannot compile expression node {type(expr).__name__}")
+        return method(expr)
+
+    # -- leaves --------------------------------------------------------------------
+
+    def _compile_literal(self, expr: Literal):
+        value = expr.value
+        return lambda row: value
+
+    def _compile_columnref(self, expr: ColumnRef):
+        index = self._binder(expr)
+        return lambda row: row[index]
+
+    def _compile_boundref(self, expr: BoundRef):
+        index = expr.index
+        return lambda row: row[index]
+
+    # -- operators ------------------------------------------------------------------
+
+    def _compile_binaryop(self, expr: BinaryOp):
+        op = expr.op.upper()
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "AND":
+
+            def and_eval(row):
+                l_val = left(row)
+                if l_val is False:
+                    return False
+                r_val = right(row)
+                if r_val is False:
+                    return False
+                if l_val is None or r_val is None:
+                    return None
+                return True
+
+            return and_eval
+        if op == "OR":
+
+            def or_eval(row):
+                l_val = left(row)
+                if l_val is True:
+                    return True
+                r_val = right(row)
+                if r_val is True:
+                    return True
+                if l_val is None or r_val is None:
+                    return None
+                return False
+
+            return or_eval
+        if op in _COMPARE:
+            compare = _COMPARE[op]
+
+            def cmp_eval(row):
+                l_val = left(row)
+                if l_val is None:
+                    return None
+                r_val = right(row)
+                if r_val is None:
+                    return None
+                return compare(l_val, r_val)
+
+            return cmp_eval
+        if op in _ARITH:
+            arith = _ARITH[op]
+
+            def arith_eval(row):
+                l_val = left(row)
+                if l_val is None:
+                    return None
+                r_val = right(row)
+                if r_val is None:
+                    return None
+                return arith(l_val, r_val)
+
+            return arith_eval
+        if op == "/":
+
+            def div_eval(row):
+                l_val = left(row)
+                if l_val is None:
+                    return None
+                r_val = right(row)
+                if r_val is None:
+                    return None
+                if r_val == 0:
+                    raise ExecutionError("division by zero")
+                if isinstance(l_val, int) and isinstance(r_val, int):
+                    # T-SQL integer division truncates toward zero
+                    quotient = abs(l_val) // abs(r_val)
+                    return quotient if (l_val >= 0) == (r_val >= 0) else -quotient
+                return l_val / r_val
+
+            return div_eval
+        raise BindError(f"unknown binary operator {expr.op!r}")
+
+    def _compile_unaryop(self, expr: UnaryOp):
+        inner = self.compile(expr.operand)
+        op = expr.op.upper()
+        if op == "NOT":
+
+            def not_eval(row):
+                value = inner(row)
+                return None if value is None else not value
+
+            return not_eval
+        if op == "-":
+            return lambda row: None if (v := inner(row)) is None else -v
+        if op == "+":
+            return inner
+        raise BindError(f"unknown unary operator {expr.op!r}")
+
+    # -- functions -------------------------------------------------------------------
+
+    def _compile_funccall(self, expr: FuncCall):
+        arg_fns = [self.compile(a) for a in expr.args]
+        # registered UDFs take precedence, so a database can override a
+        # built-in (e.g. DATALENGTH over FILESTREAM pointers)
+        if self._library is not None:
+            udf = self._library.scalar(expr.name)
+            if udf is not None:
+                return lambda row: udf(*[fn(row) for fn in arg_fns])
+        builtin = _BUILTINS.get(expr.name.lower())
+        if builtin is not None:
+            return lambda row: builtin(*[fn(row) for fn in arg_fns])
+        raise BindError(f"unknown function {expr.name!r}")
+
+    def _compile_aggregatecall(self, expr: AggregateCall):
+        raise BindError(
+            f"aggregate {expr.name!r} used outside GROUP BY/SELECT context"
+        )
+
+    def _compile_windowcall(self, expr: WindowCall):
+        raise BindError(
+            f"window function {expr.name!r} must be planned, not compiled directly"
+        )
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _compile_isnull(self, expr: IsNull):
+        inner = self.compile(expr.operand)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+
+    def _compile_between(self, expr: Between):
+        value = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+
+        def between_eval(row):
+            v = value(row)
+            lo = low(row)
+            hi = high(row)
+            if v is None or lo is None or hi is None:
+                return None
+            return lo <= v <= hi
+
+        return between_eval
+
+    def _compile_inlist(self, expr: InList):
+        value = self.compile(expr.operand)
+        item_fns = [self.compile(i) for i in expr.items]
+
+        def in_eval(row):
+            v = value(row)
+            if v is None:
+                return None
+            saw_null = False
+            for fn in item_fns:
+                item = fn(row)
+                if item is None:
+                    saw_null = True
+                elif item == v:
+                    return True
+            return None if saw_null else False
+
+        return in_eval
+
+    def _compile_like(self, expr: Like):
+        value = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+
+        def like_eval(row):
+            result = like_match(value(row), pattern(row))
+            if result is None:
+                return None
+            return not result if expr.negated else result
+
+        return like_eval
+
+    def _compile_case(self, expr: Case):
+        whens = [(self.compile(c), self.compile(v)) for c, v in expr.whens]
+        default = self.compile(expr.default) if expr.default is not None else None
+
+        def case_eval(row):
+            for cond, value in whens:
+                if cond(row) is True:
+                    return value(row)
+            return default(row) if default is not None else None
+
+        return case_eval
+
+
+def expression_to_sql(expr: Expr) -> str:
+    """Render an expression back to SQL-ish text (for EXPLAIN output)."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, str):
+            return "'" + expr.value.replace("'", "''") + "'"
+        return str(expr.value)
+    if isinstance(expr, ColumnRef):
+        return str(expr)
+    if isinstance(expr, BoundRef):
+        return expr.label or f"$col{expr.index}"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"({expression_to_sql(expr.left)} {expr.op} "
+            f"{expression_to_sql(expr.right)})"
+        )
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {expression_to_sql(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(expression_to_sql(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, AggregateCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        inner = ", ".join(expression_to_sql(a) for a in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, WindowCall):
+        order = ", ".join(
+            f"{expression_to_sql(e)}{' DESC' if desc else ''}"
+            for e, desc in expr.order_by
+        )
+        return f"{expr.name}() OVER (ORDER BY {order})"
+    if isinstance(expr, IsNull):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({expression_to_sql(expr.operand)} {suffix})"
+    if isinstance(expr, Between):
+        return (
+            f"({expression_to_sql(expr.operand)} BETWEEN "
+            f"{expression_to_sql(expr.low)} AND {expression_to_sql(expr.high)})"
+        )
+    if isinstance(expr, InList):
+        items = ", ".join(expression_to_sql(i) for i in expr.items)
+        return f"({expression_to_sql(expr.operand)} IN ({items}))"
+    if isinstance(expr, Like):
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return (
+            f"({expression_to_sql(expr.operand)} {keyword} "
+            f"{expression_to_sql(expr.pattern)})"
+        )
+    if isinstance(expr, Case):
+        parts = ["CASE"]
+        for cond, value in expr.whens:
+            parts.append(
+                f"WHEN {expression_to_sql(cond)} THEN {expression_to_sql(value)}"
+            )
+        if expr.default is not None:
+            parts.append(f"ELSE {expression_to_sql(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    return repr(expr)

@@ -1,0 +1,5 @@
+"""Index structures."""
+
+from .btree import BPlusTree
+
+__all__ = ["BPlusTree"]

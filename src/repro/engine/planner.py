@@ -1,0 +1,793 @@
+"""Query planner: SELECT AST → physical operator tree.
+
+A rule-based planner in the spirit of the plans the paper shows:
+
+- **access paths** — base tables scan as heaps; when a clustered key can
+  satisfy equality predicates the planner emits a Clustered Index Seek,
+  and when a downstream operator wants key order it emits a Clustered
+  Index Scan;
+- **predicate pushdown** — WHERE conjuncts that reference a single
+  source are applied directly above that source's scan, before joins;
+- **join selection** — equi-joins between inputs that both arrive
+  ordered on the join key become Merge Joins (Figure 10's plan);
+  otherwise a Hash Join; non-equi predicates stay as residuals;
+- **aggregation strategy** — ordered-input UDAs get a Stream Aggregate
+  (sorting first if the input is not already ordered); large
+  parallel-safe aggregations get the exchange-based parallel plan
+  (Figure 9); everything else gets a Hash Aggregate;
+- **windows** — ``ROW_NUMBER() OVER (ORDER BY ...)`` plans as a
+  Sequence Project above the aggregation.
+
+``explain()`` renders the chosen tree as indented text — the stand-in
+for the graphical plans in the paper's Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .errors import BindError, SqlSyntaxError
+from .executor import (
+    AggregateSpec,
+    ClusteredIndexScan,
+    ClusteredIndexSeek,
+    CrossApply,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    MaterializedResult,
+    MergeJoin,
+    ParallelHashAggregate,
+    PhysicalOperator,
+    Project,
+    RowNumberWindow,
+    Sort,
+    StreamAggregate,
+    TableScan,
+    Top,
+    TvfScan,
+)
+from .expressions import (
+    AggregateCall,
+    BinaryOp,
+    BoundRef,
+    ColumnRef,
+    Expr,
+    ExpressionCompiler,
+    FuncCall,
+    Literal,
+    WindowCall,
+    column_refs,
+    expression_to_sql,
+    find_aggregates,
+    find_windows,
+    rewrite,
+)
+from .sql import ast
+
+#: row-count threshold above which a parallel-safe aggregation is
+#: planned with the exchange operator
+PARALLEL_AGG_THRESHOLD = 50_000
+
+
+def make_binder(op: PhysicalOperator) -> Callable[[ColumnRef], int]:
+    """Build a binder resolving column references against ``op``'s output."""
+    columns = [c.lower() for c in op.columns]
+
+    def binder(ref: ColumnRef) -> int:
+        target = ref.name.lower()
+        if ref.qualifier:
+            wanted = f"{ref.qualifier.lower()}.{target}"
+            exact = [i for i, c in enumerate(columns) if c == wanted]
+            if len(exact) == 1:
+                return exact[0]
+            if len(exact) > 1:
+                raise BindError(f"ambiguous column {ref}")
+            raise BindError(f"unknown column {ref}")
+        exact = [i for i, c in enumerate(columns) if c == target]
+        if len(exact) == 1:
+            return exact[0]
+        suffix = [
+            i for i, c in enumerate(columns) if c.rsplit(".", 1)[-1] == target
+        ]
+        if len(exact or suffix) == 1:
+            return (exact or suffix)[0]
+        if not exact and not suffix:
+            raise BindError(f"unknown column {ref}")
+        raise BindError(f"ambiguous column {ref}")
+
+    return binder
+
+
+def _binds(op: PhysicalOperator, expr: Expr) -> bool:
+    """True when every column reference in ``expr`` resolves against op."""
+    binder = make_binder(op)
+    try:
+        for ref in column_refs(expr):
+            binder(ref)
+        return True
+    except BindError:
+        return False
+
+
+def _split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op.upper() == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _conjoin(conjuncts: Sequence[Expr]) -> Optional[Expr]:
+    result: Optional[Expr] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("AND", result, conjunct)
+    return result
+
+
+def estimate_rows(op: PhysicalOperator) -> int:
+    """Crude cardinality estimate used for the parallel-plan decision."""
+    if isinstance(op, (TableScan, ClusteredIndexScan)):
+        return op.table.row_count
+    if isinstance(op, ClusteredIndexSeek):
+        return max(op.table.row_count // 10, 1)
+    if isinstance(op, Filter):
+        return max(estimate_rows(op.child) // 2, 1)
+    if isinstance(op, (HashJoin, MergeJoin)):
+        return max(estimate_rows(op.left), estimate_rows(op.right))
+    if isinstance(op, CrossApply):
+        return estimate_rows(op.outer) * 8  # TVFs typically fan out
+    if isinstance(op, MaterializedResult):
+        return len(op)
+    kids = op.children()
+    if kids:
+        return max(estimate_rows(k) for k in kids)
+    return 1000
+
+
+class _Relabel(PhysicalOperator):
+    """Expose a child operator under new column names (derived tables)."""
+
+    def __init__(self, child: PhysicalOperator, columns: Sequence[str]):
+        super().__init__()
+        self.child = child
+        self.columns = list(columns)
+        self.ordering = child.ordering
+
+    def execute(self):
+        return iter(self.child)
+
+    def children(self):
+        return (self.child,)
+
+    def explain_node(self):
+        label, _ = self.child.explain_node()
+        return label, self.child.children()
+
+
+class Planner:
+    """Plans statements against one database instance."""
+
+    def __init__(self, database):
+        self.database = database
+
+    # ------------------------------------------------------------------ SELECT
+
+    def plan_select(self, stmt: ast.SelectStmt) -> PhysicalOperator:
+        conjuncts = _split_conjuncts(stmt.where)
+        op, remaining = self._plan_from(stmt, conjuncts)
+        op = self._apply_residual_where(op, remaining)
+        op, agg_subst = self._apply_group_by(op, stmt)
+        if stmt.having is not None:
+            having = self._substitute(
+                self._bind_udas(stmt.having), agg_subst
+            )
+            compiler = ExpressionCompiler(
+                make_binder(op), self.database.catalog.functions
+            )
+            op = Filter(op, compiler.compile(having), label="HAVING")
+        op, window_subst = self._apply_windows(op, stmt, agg_subst)
+        subst = {**agg_subst, **window_subst}
+        op = self._apply_order_project_top(op, stmt, subst)
+        return op
+
+    # -- FROM --------------------------------------------------------------------
+
+    def _plan_from(
+        self, stmt: ast.SelectStmt, conjuncts: List[Expr]
+    ) -> Tuple[PhysicalOperator, List[Expr]]:
+        if stmt.source is None:
+            return MaterializedResult([], [()]), conjuncts
+        op, conjuncts = self._plan_source_filtered(stmt.source, conjuncts)
+        for join in stmt.joins:
+            if join.kind == "CROSS APPLY":
+                op = self._plan_cross_apply(op, join.source)
+            else:
+                op, conjuncts = self._plan_join(op, join, conjuncts)
+        return op, conjuncts
+
+    def _plan_source_filtered(
+        self, source, conjuncts: List[Expr]
+    ) -> Tuple[PhysicalOperator, List[Expr]]:
+        """Plan one FROM source and push down every WHERE conjunct whose
+        columns all resolve against it (seeking on a clustered-key
+        prefix where possible)."""
+        op = self._plan_source(source)
+        local = [c for c in conjuncts if _binds(op, c)]
+        remaining = [c for c in conjuncts if not _binds(op, c)]
+        if local:
+            op = self._apply_residual_where(op, local)
+        return op, remaining
+
+    def _plan_source(self, source) -> PhysicalOperator:
+        if isinstance(source, ast.TableRef):
+            table = self.database.catalog.table(source.name)
+            return TableScan(table, alias=source.binding_name)
+        if isinstance(source, ast.TvfRef):
+            tvf = self.database.catalog.functions.tvf(source.name)
+            if tvf is None:
+                raise BindError(f"unknown table-valued function {source.name!r}")
+            args = self._eval_constant_args(source.args)
+            return TvfScan(tvf, args, alias=source.binding_name)
+        if isinstance(source, ast.SubqueryRef):
+            inner = self.plan_select(source.select)
+            alias = source.binding_name
+            renamed = [
+                f"{alias}.{c.rsplit('.', 1)[-1]}" for c in inner.columns
+            ]
+            return _Relabel(inner, renamed)
+        if isinstance(source, ast.OpenRowsetRef):
+            data = self.database.read_bulk_file(source.path)
+            alias = source.binding_name
+            return MaterializedResult([f"{alias}.BulkColumn"], [(data,)])
+        raise BindError(f"unsupported FROM source {type(source).__name__}")
+
+    def _eval_constant_args(self, args: Sequence[Expr]) -> List[Any]:
+        def no_columns(ref: ColumnRef) -> int:
+            raise BindError(
+                f"TVF arguments in FROM must be constants, found column {ref}"
+            )
+
+        compiler = ExpressionCompiler(
+            no_columns, self.database.catalog.functions
+        )
+        return [compiler.compile(a)(()) for a in args]
+
+    def _plan_cross_apply(self, outer: PhysicalOperator, source) -> PhysicalOperator:
+        if not isinstance(source, ast.TvfRef):
+            raise BindError("CROSS APPLY supports table-valued functions only")
+        tvf = self.database.catalog.functions.tvf(source.name)
+        if tvf is None:
+            raise BindError(f"unknown table-valued function {source.name!r}")
+        compiler = ExpressionCompiler(
+            make_binder(outer), self.database.catalog.functions
+        )
+        arg_fns = [compiler.compile(a) for a in source.args]
+        return CrossApply(outer, tvf, arg_fns, alias=source.binding_name)
+
+    # -- joins -----------------------------------------------------------------------
+
+    def _plan_join(
+        self,
+        left: PhysicalOperator,
+        join: ast.JoinClause,
+        where_conjuncts: Optional[List[Expr]] = None,
+    ) -> Tuple[PhysicalOperator, List[Expr]]:
+        if where_conjuncts is None:
+            where_conjuncts = []
+        right, where_conjuncts = self._plan_source_filtered(
+            join.source, where_conjuncts
+        )
+        conjuncts = _split_conjuncts(join.on)
+        equi: List[Tuple[ColumnRef, ColumnRef]] = []
+        residual: List[Expr] = []
+        for conjunct in conjuncts:
+            pair = self._equi_pair(left, right, conjunct)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+        if not equi:
+            raise BindError(
+                "JOIN requires at least one equality predicate between the inputs"
+            )
+        left_refs = [pair[0] for pair in equi]
+        right_refs = [pair[1] for pair in equi]
+
+        # Merge join when both sides can deliver join-key order from a
+        # clustered index.
+        merged = self._try_merge_join(left, right, left_refs, right_refs)
+        if merged is not None:
+            joined = merged
+        else:
+            left_binder = make_binder(left)
+            right_binder = make_binder(right)
+            library = self.database.catalog.functions
+            left_fns = [
+                ExpressionCompiler(left_binder, library).compile(r)
+                for r in left_refs
+            ]
+            right_fns = [
+                ExpressionCompiler(right_binder, library).compile(r)
+                for r in right_refs
+            ]
+            joined = HashJoin(left, right, left_fns, right_fns)
+        if residual:
+            compiler = ExpressionCompiler(
+                make_binder(joined), self.database.catalog.functions
+            )
+            predicate = compiler.compile(_conjoin(residual))
+            joined = Filter(joined, predicate, label="join residual")
+        return joined, where_conjuncts
+
+    def _equi_pair(
+        self, left: PhysicalOperator, right: PhysicalOperator, conjunct: Expr
+    ) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+        if not (
+            isinstance(conjunct, BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            return None
+        a, b = conjunct.left, conjunct.right
+        if _binds(left, a) and _binds(right, b) and not _binds(left, b):
+            return (a, b)
+        if _binds(left, b) and _binds(right, a) and not _binds(left, a):
+            return (b, a)
+        # ambiguous (same column name on both sides): prefer qualifier match
+        if _binds(left, a) and _binds(right, b):
+            return (a, b)
+        if _binds(left, b) and _binds(right, a):
+            return (b, a)
+        return None
+
+    def _try_merge_join(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_refs: Sequence[ColumnRef],
+        right_refs: Sequence[ColumnRef],
+    ) -> Optional[MergeJoin]:
+        left_ordered = self._ordered_on(left, left_refs)
+        right_ordered = self._ordered_on(right, right_refs)
+        if left_ordered is None or right_ordered is None:
+            return None
+        library = self.database.catalog.functions
+        left_fns = [
+            ExpressionCompiler(make_binder(left_ordered), library).compile(r)
+            for r in left_refs
+        ]
+        right_fns = [
+            ExpressionCompiler(make_binder(right_ordered), library).compile(r)
+            for r in right_refs
+        ]
+        return MergeJoin(left_ordered, right_ordered, left_fns, right_fns)
+
+    @staticmethod
+    def _bound_columns(op: PhysicalOperator) -> frozenset:
+        """Output positions known constant (equality-bound seek prefix),
+        found by walking through order-preserving wrappers."""
+        bound = getattr(op, "bound_columns", None)
+        if bound is not None:
+            return bound
+        if isinstance(op, Filter):
+            return Planner._bound_columns(op.child)
+        if isinstance(op, (HashJoin, MergeJoin)):
+            return Planner._bound_columns(op.left)
+        if isinstance(op, CrossApply):
+            return Planner._bound_columns(op.outer)
+        return frozenset()
+
+    def _ordered_on(
+        self, op: PhysicalOperator, refs: Sequence[ColumnRef]
+    ) -> Optional[PhysicalOperator]:
+        """Return a (possibly replaced) operator delivering rows ordered
+        by ``refs``, or None when order cannot be obtained cheaply.
+
+        Columns bound to constants by an equality seek are trivially
+        ordered, so they are skipped when matching the requirement."""
+        binder = make_binder(op)
+        try:
+            indexes = tuple(binder(r) for r in refs)
+        except BindError:
+            return None
+        bound = self._bound_columns(op)
+        effective = tuple(i for i in indexes if i not in bound)
+        if op.ordering[: len(effective)] == effective:
+            return op
+        # Upgrade a bare heap scan to a clustered scan when the clustered
+        # key leads with the join columns.
+        if isinstance(op, TableScan):
+            names = [op.columns[i].rsplit(".", 1)[-1] for i in indexes]
+            table = op.table
+            if not table.schema.heap and tuple(
+                c.lower() for c in table.schema.primary_key[: len(names)]
+            ) == tuple(n.lower() for n in names):
+                return ClusteredIndexScan(table, alias=op.alias)
+        if isinstance(op, Filter):
+            upgraded = self._ordered_on(op.child, refs)
+            if upgraded is op.child:
+                return op
+            if upgraded is not None:
+                return Filter(upgraded, op.predicate, label=op.label)
+        return None
+
+    # -- WHERE ------------------------------------------------------------------------
+
+    def _apply_residual_where(
+        self, op: PhysicalOperator, conjuncts: List[Expr]
+    ) -> PhysicalOperator:
+        if not conjuncts:
+            return op
+        library = self.database.catalog.functions
+
+        # Try converting a heap scan + PK-prefix equality into a seek.
+        if isinstance(op, TableScan):
+            op, conjuncts = self._try_seek(op, conjuncts)
+        if not conjuncts:
+            return op
+        compiler = ExpressionCompiler(make_binder(op), library)
+        predicate = compiler.compile(_conjoin(conjuncts))
+        label = expression_to_sql(_conjoin(conjuncts))
+        if len(label) > 60:
+            label = label[:57] + "..."
+        return Filter(op, predicate, label=label)
+
+    @staticmethod
+    def _equality_bindings(
+        scan: TableScan, conjuncts: List[Expr]
+    ) -> Dict[int, Tuple[Any, Expr]]:
+        """column position → (literal value, conjunct) for every
+        ``column = constant`` conjunct on this scan."""
+        binder = make_binder(scan)
+        bindings: Dict[int, Tuple[Any, Expr]] = {}
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+                continue
+            ref, lit = conjunct.left, conjunct.right
+            if isinstance(lit, ColumnRef) and isinstance(ref, Literal):
+                ref, lit = lit, ref
+            if not (isinstance(ref, ColumnRef) and isinstance(lit, Literal)):
+                continue
+            try:
+                col_index = binder(ref)
+            except BindError:
+                continue
+            bindings.setdefault(col_index, (lit.value, conjunct))
+        return bindings
+
+    @staticmethod
+    def _bound_prefix(
+        column_positions: Sequence[int],
+        bindings: Dict[int, Tuple[Any, Expr]],
+    ) -> Tuple[Tuple[Any, ...], List[Expr]]:
+        """Longest equality-bound prefix of an index's columns; returns
+        the key values and the conjuncts the seek consumes."""
+        prefix: List[Any] = []
+        consumed: List[Expr] = []
+        for col_index in column_positions:
+            if col_index not in bindings:
+                break
+            value, conjunct = bindings[col_index]
+            prefix.append(value)
+            consumed.append(conjunct)
+        return tuple(prefix), consumed
+
+    def _try_seek(
+        self, scan: TableScan, conjuncts: List[Expr]
+    ) -> Tuple[PhysicalOperator, List[Expr]]:
+        table = scan.table
+        bindings = self._equality_bindings(scan, conjuncts)
+        if not bindings:
+            return scan, conjuncts
+
+        # prefer the clustered key (no bookmark lookup)
+        if not table.schema.heap and table.schema.primary_key:
+            key_positions = [
+                table.schema.column_index(c)
+                for c in table.schema.primary_key
+            ]
+            prefix, consumed = self._bound_prefix(key_positions, bindings)
+            if prefix:
+                seek = ClusteredIndexSeek(
+                    table, prefix, prefix, alias=scan.alias
+                )
+                consumed_ids = {id(c) for c in consumed}
+                remaining = [
+                    c for c in conjuncts if id(c) not in consumed_ids
+                ]
+                return seek, remaining
+
+        # fall back to the best secondary index (longest bound prefix)
+        best: Optional[Tuple[str, Tuple[Any, ...], List[Expr]]] = None
+        for name, col_idxs in table.secondary_indexes().items():
+            prefix, consumed = self._bound_prefix(col_idxs, bindings)
+            if prefix and (best is None or len(prefix) > len(best[1])):
+                best = (name, prefix, consumed)
+        if best is not None:
+            from .executor import SecondaryIndexSeek
+
+            name, prefix, consumed = best
+            seek = SecondaryIndexSeek(
+                table, name, prefix, prefix, alias=scan.alias
+            )
+            consumed_ids = {id(c) for c in consumed}
+            remaining = [c for c in conjuncts if id(c) not in consumed_ids]
+            return seek, remaining
+        return scan, conjuncts
+
+    # -- GROUP BY / aggregates -----------------------------------------------------------
+
+    def _bind_udas(self, expr: Expr) -> Expr:
+        """Convert registered-UDA function calls into AggregateCall nodes."""
+        library = self.database.catalog.functions
+
+        def transform(node: Expr) -> Optional[Expr]:
+            if isinstance(node, FuncCall) and library.uda(node.name) is not None:
+                return AggregateCall(node.name, node.args)
+            return None
+
+        return rewrite(expr, transform)
+
+    def _apply_group_by(
+        self, op: PhysicalOperator, stmt: ast.SelectStmt
+    ) -> Tuple[PhysicalOperator, Dict[str, BoundRef]]:
+        # Gather every expression that may contain aggregates.
+        exprs: List[Expr] = []
+        for item in stmt.items:
+            if item.expr is not None:
+                exprs.append(self._bind_udas(item.expr))
+        if stmt.having is not None:
+            exprs.append(self._bind_udas(stmt.having))
+        for order_expr, _ in stmt.order_by:
+            exprs.append(self._bind_udas(order_expr))
+        aggregates: Dict[str, AggregateCall] = {}
+        for expr in exprs:
+            for agg in find_aggregates(expr):
+                aggregates.setdefault(expression_to_sql(agg).lower(), agg)
+        if not stmt.group_by and not aggregates:
+            return op, {}
+
+        library = self.database.catalog.functions
+        binder = make_binder(op)
+        compiler = ExpressionCompiler(binder, library)
+
+        group_exprs = list(stmt.group_by)
+        group_fns = [compiler.compile(e) for e in group_exprs]
+        group_names = [expression_to_sql(e) for e in group_exprs]
+        group_indexes = None
+        if group_exprs and all(isinstance(e, ColumnRef) for e in group_exprs):
+            try:
+                group_indexes = tuple(binder(e) for e in group_exprs)
+            except BindError:
+                group_indexes = None
+
+        specs: List[AggregateSpec] = []
+        agg_names: List[str] = []
+        subst: Dict[str, BoundRef] = {}
+        for i, (text, agg) in enumerate(aggregates.items()):
+            uda_class = library.uda(agg.name)
+            arg_fns = [compiler.compile(a) for a in agg.args]
+            specs.append(
+                AggregateSpec(
+                    agg.name,
+                    arg_fns,
+                    star=agg.star,
+                    distinct=agg.distinct,
+                    uda_class=uda_class,
+                )
+            )
+            agg_names.append(f"$agg{i}")
+        # group columns come first in aggregate output
+        for i, text in enumerate(n.lower() for n in group_names):
+            subst[text] = BoundRef(i, label=group_names[i])
+        for i, text in enumerate(aggregates.keys()):
+            subst[text] = BoundRef(len(group_names) + i, label=agg_names[i])
+
+        needs_order = any(s.requires_ordered_input for s in specs)
+        all_parallel_safe = all(s.parallel_safe for s in specs)
+        dop = stmt.maxdop if stmt.maxdop is not None else self.database.default_dop
+        # an explicit OPTION (MAXDOP n>1) hint opts into the parallel
+        # plan regardless of the (crude) cardinality estimate
+        big_input = (
+            estimate_rows(op) >= PARALLEL_AGG_THRESHOLD
+            or (stmt.maxdop is not None and stmt.maxdop > 1)
+        )
+
+        if needs_order:
+            ordered = self._group_ordered(op, group_exprs)
+            if ordered is None:
+                op = Sort(
+                    op,
+                    group_fns,
+                    [False] * len(group_fns),
+                    label="for ordered UDA",
+                )
+                # recompile group fns against same columns (unchanged)
+            else:
+                op = ordered
+            return (
+                StreamAggregate(op, group_fns, group_names, specs, agg_names),
+                subst,
+            )
+        if (
+            all_parallel_safe
+            and dop > 1
+            and big_input
+            and group_fns  # scalar aggregates stay serial; cheap anyway
+        ):
+            return (
+                ParallelHashAggregate(
+                    op,
+                    group_fns,
+                    group_names,
+                    specs,
+                    agg_names,
+                    dop=dop,
+                    group_indexes=group_indexes,
+                ),
+                subst,
+            )
+        if not group_fns:
+            # scalar aggregate: Stream Aggregate emits exactly one row,
+            # with NULL/0 results on empty input (SQL semantics)
+            return (
+                StreamAggregate(op, [], [], specs, agg_names),
+                subst,
+            )
+        ordered = self._group_ordered(op, group_exprs)
+        if ordered is not None:
+            return (
+                StreamAggregate(
+                    ordered, group_fns, group_names, specs, agg_names
+                ),
+                subst,
+            )
+        return (
+            HashAggregate(
+                op,
+                group_fns,
+                group_names,
+                specs,
+                agg_names,
+                group_indexes=group_indexes,
+            ),
+            subst,
+        )
+
+    def _group_ordered(
+        self, op: PhysicalOperator, group_exprs: Sequence[Expr]
+    ) -> Optional[PhysicalOperator]:
+        """Is ``op`` (or a cheap upgrade of it) ordered by the group key?"""
+        refs = [e for e in group_exprs if isinstance(e, ColumnRef)]
+        if len(refs) != len(group_exprs) or not refs:
+            return None
+        return self._ordered_on(op, refs)
+
+    # -- windows ---------------------------------------------------------------------
+
+    def _apply_windows(
+        self,
+        op: PhysicalOperator,
+        stmt: ast.SelectStmt,
+        agg_subst: Dict[str, BoundRef],
+    ) -> Tuple[PhysicalOperator, Dict[str, BoundRef]]:
+        windows: Dict[str, WindowCall] = {}
+        for item in stmt.items:
+            if item.expr is None:
+                continue
+            expr = self._bind_udas(item.expr)
+            for window in find_windows(expr):
+                windows.setdefault(expression_to_sql(window).lower(), window)
+        if not windows:
+            return op, {}
+        subst: Dict[str, BoundRef] = {}
+        library = self.database.catalog.functions
+        for window in windows.values():
+            if window.name.lower() != "row_number":
+                raise BindError(
+                    f"unsupported window function {window.name!r}"
+                )
+            # substitute aggregate results into the OVER clause first; the
+            # substitution key must be this *rebuilt* form, because that
+            # is what projection expressions contain after their own
+            # (bottom-up) aggregate substitution
+            rebuilt = self._substitute(window, agg_subst)
+            binder = make_binder(op)
+            compiler = ExpressionCompiler(binder, library)
+            order_fns = []
+            descending = []
+            for order_expr, desc in rebuilt.order_by:
+                order_fns.append(compiler.compile(order_expr))
+                descending.append(desc)
+            op = RowNumberWindow(op, order_fns, descending)
+            bound = BoundRef(len(op.columns) - 1, label="row_number")
+            subst[expression_to_sql(rebuilt).lower()] = bound
+            subst[expression_to_sql(window).lower()] = bound
+        return op, subst
+
+    # -- projection / order / top ---------------------------------------------------------
+
+    def _substitute(self, expr: Expr, subst: Dict[str, BoundRef]) -> Expr:
+        if not subst:
+            return expr
+
+        def transform(node: Expr) -> Optional[Expr]:
+            # any expression matching a computed value (group-by
+            # expression, aggregate, window) is replaced by a reference
+            # to the aggregate/window operator's output — this is what
+            # lets GROUP BY CASE ... / SELECT CASE ... line up
+            return subst.get(expression_to_sql(node).lower())
+
+        return rewrite(expr, transform)
+
+    def _apply_order_project_top(
+        self,
+        op: PhysicalOperator,
+        stmt: ast.SelectStmt,
+        subst: Dict[str, BoundRef],
+    ) -> PhysicalOperator:
+        library = self.database.catalog.functions
+        binder = make_binder(op)
+        compiler = ExpressionCompiler(binder, library)
+
+        # Resolve select items against the current (pre-projection) op.
+        fns: List[Callable] = []
+        names: List[str] = []
+        alias_exprs: Dict[str, Expr] = {}
+        for item in stmt.items:
+            if item.star:
+                if stmt.group_by:
+                    raise BindError("SELECT * is invalid with GROUP BY")
+                for i, col in enumerate(op.columns):
+                    if item.star_qualifier and not col.lower().startswith(
+                        item.star_qualifier.lower() + "."
+                    ):
+                        continue
+                    index = i
+                    fns.append(lambda row, j=index: row[j])
+                    names.append(col.rsplit(".", 1)[-1])
+                continue
+            expr = self._substitute(self._bind_udas(item.expr), subst)
+            fns.append(compiler.compile(expr))
+            if item.alias:
+                name = item.alias
+                alias_exprs[item.alias.lower()] = expr
+            elif isinstance(item.expr, ColumnRef):
+                name = item.expr.name
+            else:
+                name = expression_to_sql(item.expr)
+            names.append(name)
+
+        # ORDER BY runs before projection (it may use non-projected values);
+        # aliases resolve to their defining expressions.
+        if stmt.order_by:
+            order_fns = []
+            descending = []
+            for order_expr, desc in stmt.order_by:
+                if (
+                    isinstance(order_expr, ColumnRef)
+                    and order_expr.qualifier is None
+                    and order_expr.name.lower() in alias_exprs
+                ):
+                    bound = alias_exprs[order_expr.name.lower()]
+                else:
+                    bound = self._substitute(
+                        self._bind_udas(order_expr), subst
+                    )
+                order_fns.append(compiler.compile(bound))
+                descending.append(desc)
+            op = Sort(op, order_fns, descending, label="ORDER BY")
+        op = Project(op, fns, names)
+        if stmt.distinct:
+            op = Distinct(op)
+        if stmt.top is not None:
+            op = Top(op, stmt.top)
+        return op
+
+    # -- explain -------------------------------------------------------------------------
+
+    def explain_select(self, stmt: ast.SelectStmt) -> str:
+        return self.plan_select(stmt).explain()

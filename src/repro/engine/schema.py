@@ -1,0 +1,193 @@
+"""Table schemas: columns, keys, and constraints.
+
+A :class:`TableSchema` is the logical description of a relation. The
+storage layer consumes it to lay out rows; the planner consumes it to
+resolve names and reason about ordering (clustered key) and uniqueness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+from .errors import BindError, ConstraintViolation, TypeMismatchError
+from .types import SqlType
+
+#: table-level compression settings (mirrors SQL Server DATA_COMPRESSION)
+COMPRESSION_NONE = "NONE"
+COMPRESSION_ROW = "ROW"
+COMPRESSION_PAGE = "PAGE"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column with NULL-ability and identity flags."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    #: auto-incrementing synthetic key (SQL Server IDENTITY)
+    identity: bool = False
+    #: ROWGUIDCOL marker, required on FILESTREAM tables
+    rowguidcol: bool = False
+
+    def validate(self, value: Any, udt_codec=None) -> Any:
+        if value is None:
+            if not self.nullable:
+                raise ConstraintViolation(
+                    f"column {self.name!r} does not allow NULL"
+                )
+            return None
+        try:
+            return self.sql_type.validate(value)
+        except TypeMismatchError as exc:
+            raise TypeMismatchError(f"column {self.name!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: local columns reference a parent key."""
+
+    columns: Tuple[str, ...]
+    parent_table: str
+    parent_columns: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.columns) != len(self.parent_columns):
+            raise BindError("foreign key column count mismatch")
+
+
+class TableSchema:
+    """Logical schema of one table.
+
+    Parameters
+    ----------
+    name:
+        Table name (case-insensitive lookups, original case preserved).
+    columns:
+        Ordered column definitions.
+    primary_key:
+        Column names forming the primary key. The primary key doubles as
+        the clustered index key unless ``heap=True``.
+    foreign_keys:
+        Referential constraints (checked on insert when enabled on the
+        database).
+    compression:
+        ``NONE`` / ``ROW`` / ``PAGE`` storage compression.
+    heap:
+        Store rows in insertion order (no clustered index) even when a
+        primary key exists.
+    filestream_group:
+        Name of the filegroup for FILESTREAM columns (cosmetic, mirrors
+        the T-SQL syntax in the paper).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+        compression: str = COMPRESSION_NONE,
+        heap: bool = False,
+        filestream_group: Optional[str] = None,
+    ):
+        if not columns:
+            raise BindError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name = {}
+        for i, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in self._by_name:
+                raise BindError(f"duplicate column {col.name!r} in {name!r}")
+            self._by_name[key] = i
+        self.primary_key: Tuple[str, ...] = tuple(primary_key)
+        for pk_col in self.primary_key:
+            if pk_col.lower() not in self._by_name:
+                raise BindError(
+                    f"primary key column {pk_col!r} not in table {name!r}"
+                )
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
+        if compression not in (
+            COMPRESSION_NONE,
+            COMPRESSION_ROW,
+            COMPRESSION_PAGE,
+        ):
+            raise BindError(f"unknown compression setting {compression!r}")
+        self.compression = compression
+        self.heap = heap or not self.primary_key
+        self.filestream_group = filestream_group
+        fs_cols = [c for c in self.columns if c.sql_type.filestream]
+        if fs_cols and not any(c.rowguidcol for c in self.columns):
+            raise BindError(
+                f"table {name!r} has FILESTREAM columns but no ROWGUIDCOL"
+            )
+
+    # -- lookups -------------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise BindError(
+                f"unknown column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def key_indexes(self) -> Tuple[int, ...]:
+        """Positions of the primary-key columns, in key order."""
+        return tuple(self.column_index(c) for c in self.primary_key)
+
+    def key_of(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Extract the primary-key tuple from a full row."""
+        return tuple(row[i] for i in self.key_indexes)
+
+    # -- row validation --------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any], udt_codecs=None) -> Tuple[Any, ...]:
+        """Validate a full-width row, returning the canonical tuple."""
+        if len(row) != len(self.columns):
+            raise TypeMismatchError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        return tuple(
+            col.validate(value) for col, value in zip(self.columns, row)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.name} {c.sql_type}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+@dataclass
+class TableStatistics:
+    """Simple statistics maintained per table for the planner."""
+
+    row_count: int = 0
+    #: total bytes of row payload currently stored (post-compression)
+    data_bytes: int = 0
+    #: bytes the same rows would occupy uncompressed
+    uncompressed_bytes: int = 0
+    page_count: int = 0
+
+    def on_insert(self, stored: int, uncompressed: int) -> None:
+        self.row_count += 1
+        self.data_bytes += stored
+        self.uncompressed_bytes += uncompressed
+
+    def on_delete(self, stored: int, uncompressed: int) -> None:
+        self.row_count -= 1
+        self.data_bytes -= stored
+        self.uncompressed_bytes -= uncompressed

@@ -1,0 +1,7 @@
+"""SQL front end: lexer, statement AST, parser."""
+
+from . import ast
+from .lexer import tokenize
+from .parser import parse_sql, parse_statement
+
+__all__ = ["ast", "parse_sql", "parse_statement", "tokenize"]

@@ -1,0 +1,7 @@
+"""Storage layer: row serialisation, slotted pages, compression, heaps."""
+
+from .heap import HeapFile
+from .page import PAGE_SIZE, Page
+from .serializer import RowSerializer
+
+__all__ = ["HeapFile", "PAGE_SIZE", "Page", "RowSerializer"]

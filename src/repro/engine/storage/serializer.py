@@ -1,0 +1,269 @@
+"""Row (de)serialisation.
+
+Two on-page record formats are implemented, mirroring SQL Server 2008:
+
+**Uncompressed** — a null bitmap followed by the fixed-width encoding of
+every non-NULL column. Fixed-width kinds (INT, FLOAT, GUID, CHAR(n), ...)
+occupy their declared width; variable kinds (VARCHAR, VARBINARY, UDT)
+are stored with a 4-byte length prefix.
+
+**ROW-compressed** — a null bitmap followed by a varint-length-prefixed
+*minimal* encoding of every non-NULL column: integers are stored in the
+fewest bytes that hold their value, CHAR loses trailing pad spaces, and
+variable kinds lose the fixed 4-byte prefix in favour of a varint. This is
+the "variable-length storage format for numeric types and fixed-length
+character strings" the paper cites from [11].
+
+PAGE compression builds on the ROW format and lives in
+:mod:`repro.engine.storage.compression`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from ..types import SqlType, UdtCodec
+
+# ---------------------------------------------------------------------------
+# varint helpers (unsigned LEB128)
+# ---------------------------------------------------------------------------
+
+
+def write_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise StorageError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_varint(value: int) -> bytes:
+    out = bytearray()
+    write_varint(value, out)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# minimal integer encoding (ROW compression of exact numerics)
+# ---------------------------------------------------------------------------
+
+
+def pack_int_minimal(value: int) -> bytes:
+    """Encode a signed integer in the fewest little-endian bytes."""
+    if value == 0:
+        return b""
+    length = (value.bit_length() + 8) // 8  # +1 sign bit, rounded up
+    return value.to_bytes(length, "little", signed=True)
+
+
+def unpack_int_minimal(raw: bytes) -> int:
+    if not raw:
+        return 0
+    return int.from_bytes(raw, "little", signed=True)
+
+
+# ---------------------------------------------------------------------------
+# RowSerializer
+# ---------------------------------------------------------------------------
+
+
+class RowSerializer:
+    """Serialises rows of one table schema into record bytes.
+
+    Parameters
+    ----------
+    schema:
+        The table schema (column order defines field order).
+    row_compression:
+        Use the ROW-compressed record format.
+    udt_codec_lookup:
+        Callable resolving a UDT name to its :class:`UdtCodec`; required
+        only when the schema contains UDT columns.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        row_compression: bool = False,
+        udt_codec_lookup: Optional[Callable[[str], UdtCodec]] = None,
+    ):
+        self.schema = schema
+        self.row_compression = row_compression
+        self._ncols = len(schema.columns)
+        self._bitmap_len = (self._ncols + 7) // 8
+        self._types: List[SqlType] = [c.sql_type for c in schema.columns]
+        self._codecs: List[Optional[UdtCodec]] = []
+        for sql_type in self._types:
+            if sql_type.kind == "UDT":
+                if udt_codec_lookup is None:
+                    raise StorageError(
+                        f"schema {schema.name!r} has UDT column but no codec lookup"
+                    )
+                self._codecs.append(udt_codec_lookup(sql_type.udt_name))
+            else:
+                self._codecs.append(None)
+
+    # -- encode ---------------------------------------------------------------
+
+    def serialize(self, row: Sequence[Any]) -> bytes:
+        if self.row_compression:
+            return self._serialize_compressed(row)
+        return self._serialize_plain(row)
+
+    def _null_bitmap(self, row: Sequence[Any]) -> bytearray:
+        bitmap = bytearray(self._bitmap_len)
+        for i, value in enumerate(row):
+            if value is None:
+                bitmap[i >> 3] |= 1 << (i & 7)
+        return bitmap
+
+    def _serialize_plain(self, row: Sequence[Any]) -> bytes:
+        out = bytearray(self._null_bitmap(row))
+        for i, value in enumerate(row):
+            if value is None:
+                continue
+            sql_type = self._types[i]
+            raw = sql_type.encode(value, self._codecs[i])
+            if sql_type.fixed_width is not None:
+                if len(raw) != sql_type.fixed_width:
+                    # CHAR(n) already padded by validate(); defensive check
+                    raw = raw.ljust(sql_type.fixed_width)[: sql_type.fixed_width]
+                out += raw
+            else:
+                out += struct.pack("<I", len(raw))
+                out += raw
+        return bytes(out)
+
+    def _serialize_compressed(self, row: Sequence[Any]) -> bytes:
+        out = bytearray(self._null_bitmap(row))
+        for i, value in enumerate(row):
+            if value is None:
+                continue
+            raw = self.encode_field_compressed(i, value)
+            write_varint(len(raw), out)
+            out += raw
+        return bytes(out)
+
+    def encode_field_compressed(self, col_index: int, value: Any) -> bytes:
+        """ROW-compressed bytes of one non-NULL column value."""
+        sql_type = self._types[col_index]
+        if sql_type.is_integer:
+            return pack_int_minimal(int(value))
+        if sql_type.kind == "CHAR":
+            return value.rstrip(" ").encode("utf-8")
+        return sql_type.encode(value, self._codecs[col_index])
+
+    def decode_field_compressed(self, col_index: int, raw: bytes) -> Any:
+        """Inverse of :meth:`encode_field_compressed`."""
+        sql_type = self._types[col_index]
+        if sql_type.is_integer:
+            return unpack_int_minimal(raw)
+        if sql_type.kind == "CHAR":
+            text = raw.decode("utf-8")
+            if sql_type.length not in (0, -1):
+                text = text.ljust(sql_type.length)
+            return text
+        return sql_type.decode(raw, self._codecs[col_index])
+
+    # -- decode ---------------------------------------------------------------
+
+    def deserialize(self, record: bytes) -> Tuple[Any, ...]:
+        if self.row_compression:
+            return self._deserialize_compressed(record)
+        return self._deserialize_plain(record)
+
+    def _nulls(self, record: bytes) -> List[bool]:
+        return [
+            bool(record[i >> 3] & (1 << (i & 7))) for i in range(self._ncols)
+        ]
+
+    def _deserialize_plain(self, record: bytes) -> Tuple[Any, ...]:
+        nulls = self._nulls(record)
+        pos = self._bitmap_len
+        values: List[Any] = []
+        for i in range(self._ncols):
+            if nulls[i]:
+                values.append(None)
+                continue
+            sql_type = self._types[i]
+            width = sql_type.fixed_width
+            if width is not None:
+                raw = record[pos : pos + width]
+                pos += width
+            else:
+                (length,) = struct.unpack_from("<I", record, pos)
+                pos += 4
+                raw = record[pos : pos + length]
+                pos += length
+            values.append(sql_type.decode(raw, self._codecs[i]))
+        return tuple(values)
+
+    def _deserialize_compressed(self, record: bytes) -> Tuple[Any, ...]:
+        nulls = self._nulls(record)
+        pos = self._bitmap_len
+        values: List[Any] = []
+        for i in range(self._ncols):
+            if nulls[i]:
+                values.append(None)
+                continue
+            length, pos = read_varint(record, pos)
+            raw = record[pos : pos + length]
+            pos += length
+            values.append(self.decode_field_compressed(i, raw))
+        return tuple(values)
+
+    # -- field split (used by page compression) --------------------------------
+
+    def split_compressed(self, record: bytes) -> Tuple[List[bool], List[bytes]]:
+        """Split a ROW-compressed record into its null flags and the raw
+        per-column field bytes (empty bytes for NULL columns)."""
+        nulls = self._nulls(record)
+        pos = self._bitmap_len
+        fields: List[bytes] = []
+        for i in range(self._ncols):
+            if nulls[i]:
+                fields.append(b"")
+                continue
+            length, pos = read_varint(record, pos)
+            fields.append(record[pos : pos + length])
+            pos += length
+        return nulls, fields
+
+    def join_compressed(self, nulls: Sequence[bool], fields: Sequence[bytes]) -> bytes:
+        """Inverse of :meth:`split_compressed`."""
+        out = bytearray(self._bitmap_len)
+        for i, is_null in enumerate(nulls):
+            if is_null:
+                out[i >> 3] |= 1 << (i & 7)
+        for i, field in enumerate(fields):
+            if nulls[i]:
+                continue
+            write_varint(len(field), out)
+            out += field
+        return bytes(out)
+
+    def uncompressed_size(self, row: Sequence[Any]) -> int:
+        """Byte size the row would occupy in the uncompressed format."""
+        return len(self._serialize_plain(row))

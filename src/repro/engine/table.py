@@ -1,0 +1,305 @@
+"""Tables: schema + heap storage + indexes + FILESTREAM handling.
+
+A :class:`Table` owns a heap file for its rows. Tables with a primary key
+additionally maintain a B+tree mapping the key to the row's rid — for
+non-heap tables this acts as the *clustered index*: :meth:`ordered_scan`
+and :meth:`seek` deliver rows in key order, which the planner exploits
+for merge joins and ordered aggregation (the paper's Figure 10 plan).
+
+Columns declared ``VARBINARY(MAX) FILESTREAM`` are transparent pointers
+into the database's :class:`~repro.engine.filestream.FileStreamStore`:
+inserting ``bytes`` stores the payload as a managed file and keeps only
+the 16-byte GUID in-row; scans surface the GUID as a :class:`uuid.UUID`
+so queries can call ``PathName()`` / ``DATALENGTH()`` on it.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import BindError, ConstraintViolation, DuplicateKeyError, StorageError
+from .filestream import FileStreamStore
+from .index.btree import BPlusTree
+from .schema import COMPRESSION_NONE, Column, TableSchema
+from .storage.heap import HeapFile, Rid
+
+
+class Table:
+    """One stored table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        filestream_store: Optional[FileStreamStore] = None,
+        udt_codec_lookup=None,
+    ):
+        self.schema = schema
+        self.heap = HeapFile(
+            schema,
+            compression=schema.compression,
+            udt_codec_lookup=udt_codec_lookup,
+        )
+        self._fs_store = filestream_store
+        self._fs_columns = tuple(
+            i for i, c in enumerate(schema.columns) if c.sql_type.filestream
+        )
+        if self._fs_columns and filestream_store is None:
+            raise BindError(
+                f"table {schema.name!r} declares FILESTREAM columns but the "
+                "database has no FileStream store"
+            )
+        self._identity_col = next(
+            (i for i, c in enumerate(schema.columns) if c.identity), None
+        )
+        self._next_identity = 1
+        # Primary-key index. For non-heap tables this is the clustered index.
+        self._pk_index: Optional[BPlusTree] = (
+            BPlusTree(unique=True) if schema.primary_key else None
+        )
+        self._secondary: Dict[str, Tuple[Tuple[int, ...], BPlusTree]] = {}
+
+    # -- inserts ---------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> Rid:
+        """Validate and store one row (full column order).
+
+        Pass ``None`` for an IDENTITY column to have a value assigned.
+        FILESTREAM columns accept ``bytes`` (payload stored as a managed
+        file) or an existing :class:`uuid.UUID` pointer.
+        """
+        row = list(values)
+        if self._identity_col is not None and row[self._identity_col] is None:
+            row[self._identity_col] = self._next_identity
+            self._next_identity += 1
+        created_blobs: List[uuid.UUID] = []
+        for i in self._fs_columns:
+            value = row[i]
+            if value is None:
+                continue
+            if isinstance(value, uuid.UUID):
+                guid = value
+            elif isinstance(value, (bytes, bytearray)):
+                guid = self._fs_store.create(bytes(value))
+                created_blobs.append(guid)
+            else:
+                raise ConstraintViolation(
+                    f"FILESTREAM column {self.schema.columns[i].name!r} "
+                    f"takes bytes or a GUID, got {type(value).__name__}"
+                )
+            row[i] = guid.bytes
+        try:
+            row = self.schema.validate_row(row)
+            key = self.schema.key_of(row) if self._pk_index is not None else None
+            if self._pk_index is not None and self._pk_index.contains(key):
+                raise DuplicateKeyError(
+                    f"duplicate primary key {key!r} in {self.schema.name!r}"
+                )
+        except Exception:
+            for guid in created_blobs:
+                self._fs_store.delete(guid)
+            raise
+        if self._identity_col is not None:
+            ident = row[self._identity_col]
+            if isinstance(ident, int) and ident >= self._next_identity:
+                self._next_identity = ident + 1
+        rid = self.heap.insert(row)
+        if self._pk_index is not None:
+            self._pk_index.insert(key, rid)
+        for name, (col_idxs, tree) in self._secondary.items():
+            tree.insert(tuple(row[i] for i in col_idxs), rid)
+        return rid
+
+    def insert_many(self, rows: Iterator[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def finish_bulk_load(self) -> None:
+        """Seal the tail page so PAGE compression covers all pages."""
+        self.heap.seal_all()
+
+    # -- deletes ---------------------------------------------------------------------
+
+    def delete_where(self, predicate: Callable[[Tuple[Any, ...]], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the count."""
+        victims = [
+            (rid, row) for rid, row in self.heap.scan() if predicate(row)
+        ]
+        for rid, row in victims:
+            self._delete_rid(rid, row)
+        return len(victims)
+
+    def update_where(
+        self,
+        predicate: Callable[[Tuple[Any, ...]], bool],
+        updater: Callable[[Tuple[Any, ...]], Sequence[Any]],
+    ) -> int:
+        """Update all rows matching ``predicate`` by replacing them with
+        ``updater(row)``; returns the count.
+
+        Implemented as delete-all-then-reinsert so key changes within
+        the updated set cannot self-collide. On any failure the original
+        rows are restored (single-statement atomicity). Not supported on
+        tables with FILESTREAM columns (the delete would drop the blob).
+        """
+        if self._fs_columns:
+            raise BindError(
+                f"UPDATE is not supported on FILESTREAM table "
+                f"{self.schema.name!r}"
+            )
+        victims = [
+            (rid, row) for rid, row in self.heap.scan() if predicate(row)
+        ]
+        for rid, row in victims:
+            self._delete_rid(rid, row)
+        inserted: List[Tuple[Any, ...]] = []
+        try:
+            for _rid, row in victims:
+                new_row = tuple(updater(row))
+                self.insert(new_row)
+                inserted.append(new_row)
+        except Exception:
+            # restore: drop the updated rows written so far, put all
+            # originals back
+            for new_row in inserted:
+                self.delete_where(lambda r, target=new_row: r == target)
+            for _rid, row in victims:
+                self.insert(row)
+            raise
+        return len(victims)
+
+    def _delete_rid(self, rid: Rid, row: Tuple[Any, ...]) -> None:
+        self.heap.delete(rid)
+        if self._pk_index is not None:
+            self._pk_index.delete(self.schema.key_of(row))
+        for name, (col_idxs, tree) in self._secondary.items():
+            tree.delete(tuple(row[i] for i in col_idxs), rid)
+        for i in self._fs_columns:
+            if row[i] is not None:
+                guid = uuid.UUID(bytes=row[i])
+                if self._fs_store.exists(guid):
+                    self._fs_store.delete(guid)
+
+    # -- reads -----------------------------------------------------------------------
+
+    def _surface(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Convert stored GUID bytes of FILESTREAM columns to UUIDs."""
+        if not self._fs_columns:
+            return row
+        out = list(row)
+        for i in self._fs_columns:
+            if out[i] is not None:
+                out[i] = uuid.UUID(bytes=out[i])
+        return tuple(out)
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        """All rows in physical (heap) order."""
+        if self._fs_columns:
+            for _rid, row in self.heap.scan():
+                yield self._surface(row)
+        else:
+            for _rid, row in self.heap.scan():
+                yield row
+
+    def ordered_scan(self) -> Iterator[Tuple[Any, ...]]:
+        """All rows in primary-key order (clustered-index scan)."""
+        if self._pk_index is None:
+            raise BindError(
+                f"table {self.schema.name!r} has no primary key to order by"
+            )
+        fetch = self.heap.fetch
+        for _key, rid in self._pk_index.items():
+            yield self._surface(fetch(rid))
+
+    def seek(
+        self,
+        lo: Optional[Tuple[Any, ...]] = None,
+        hi: Optional[Tuple[Any, ...]] = None,
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Clustered-index range seek; prefix bounds allowed."""
+        if self._pk_index is None:
+            raise BindError(f"table {self.schema.name!r} has no primary key")
+        fetch = self.heap.fetch
+        for _key, rid in self._pk_index.range(lo, hi):
+            yield self._surface(fetch(rid))
+
+    def get(self, key: Tuple[Any, ...]) -> Optional[Tuple[Any, ...]]:
+        """Point lookup by primary key; None when absent."""
+        if self._pk_index is None:
+            raise BindError(f"table {self.schema.name!r} has no primary key")
+        try:
+            rid = self._pk_index.get(key)
+        except KeyError:
+            return None
+        return self._surface(self.heap.fetch(rid))
+
+    # -- secondary indexes --------------------------------------------------------------
+
+    def create_index(self, name: str, columns: Sequence[str]) -> None:
+        """Build a non-unique secondary index over ``columns``."""
+        if name.lower() in self._secondary:
+            raise BindError(f"index {name!r} already exists")
+        col_idxs = tuple(self.schema.column_index(c) for c in columns)
+        tree = BPlusTree(unique=False)
+        for rid, row in self.heap.scan():
+            tree.insert(tuple(row[i] for i in col_idxs), rid)
+        self._secondary[name.lower()] = (col_idxs, tree)
+
+    def index_seek(
+        self,
+        name: str,
+        lo: Optional[Tuple[Any, ...]] = None,
+        hi: Optional[Tuple[Any, ...]] = None,
+    ) -> Iterator[Tuple[Any, ...]]:
+        try:
+            _col_idxs, tree = self._secondary[name.lower()]
+        except KeyError:
+            raise BindError(f"unknown index {name!r}") from None
+        fetch = self.heap.fetch
+        for _key, rid in tree.range(lo, hi):
+            yield self._surface(fetch(rid))
+
+    def secondary_indexes(self) -> Dict[str, Tuple[int, ...]]:
+        """Name → indexed column positions, for the planner."""
+        return {
+            name: col_idxs
+            for name, (col_idxs, _tree) in self._secondary.items()
+        }
+
+    def has_index_on(self, columns: Sequence[str]) -> bool:
+        """True when the PK or a secondary index leads with ``columns``."""
+        want = tuple(self.schema.column_index(c) for c in columns)
+        if self._pk_index is not None:
+            if self.schema.key_indexes[: len(want)] == want:
+                return True
+        for _name, (col_idxs, _tree) in self._secondary.items():
+            if col_idxs[: len(want)] == want:
+                return True
+        return False
+
+    # -- accounting ---------------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    def stored_bytes(self) -> int:
+        """In-row storage bytes (pages), excluding FILESTREAM payloads."""
+        return self.heap.stored_bytes()
+
+    def filestream_bytes(self) -> int:
+        """Bytes of FILESTREAM payloads owned by this table's rows."""
+        if not self._fs_columns:
+            return 0
+        total = 0
+        for _rid, row in self.heap.scan():
+            for i in self._fs_columns:
+                if row[i] is not None:
+                    total += self._fs_store.data_length(uuid.UUID(bytes=row[i]))
+        return total
+
+    def uncompressed_bytes(self) -> int:
+        return self.heap.uncompressed_bytes()

@@ -1,0 +1,321 @@
+"""SQL type system.
+
+The engine supports a pragmatic subset of the SQL Server 2008 scalar types
+the paper relies on, plus a hook for user-defined types (UDTs):
+
+- exact numerics: ``INT``, ``BIGINT``, ``SMALLINT``, ``TINYINT``, ``BIT``
+- approximate numerics: ``FLOAT``
+- strings: ``CHAR(n)``, ``VARCHAR(n)``, ``VARCHAR(MAX)``
+- binary: ``BINARY(n)``, ``VARBINARY(n)``, ``VARBINARY(MAX)``
+- ``UNIQUEIDENTIFIER`` (GUID)
+- ``DATETIME`` (stored as POSIX float for simplicity)
+- UDTs registered through :class:`repro.engine.udf.UdtRegistry`
+
+A column of type ``VARBINARY(MAX)`` may additionally carry the
+``FILESTREAM`` storage attribute (see :mod:`repro.engine.filestream`), in
+which case the stored value is a GUID pointer into the FileStream store.
+
+SQL ``NULL`` is represented by Python ``None`` everywhere.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .errors import TypeMismatchError
+
+#: sentinel length for VARCHAR(MAX) / VARBINARY(MAX)
+MAX = -1
+
+# ---------------------------------------------------------------------------
+# type kinds
+# ---------------------------------------------------------------------------
+
+INT = "INT"
+BIGINT = "BIGINT"
+SMALLINT = "SMALLINT"
+TINYINT = "TINYINT"
+BIT = "BIT"
+FLOAT = "FLOAT"
+CHAR = "CHAR"
+VARCHAR = "VARCHAR"
+BINARY = "BINARY"
+VARBINARY = "VARBINARY"
+UNIQUEIDENTIFIER = "UNIQUEIDENTIFIER"
+DATETIME = "DATETIME"
+UDT = "UDT"
+
+_INTEGER_KINDS = {INT, BIGINT, SMALLINT, TINYINT, BIT}
+
+_INT_RANGES = {
+    TINYINT: (0, 255),
+    SMALLINT: (-(2**15), 2**15 - 1),
+    INT: (-(2**31), 2**31 - 1),
+    BIGINT: (-(2**63), 2**63 - 1),
+    BIT: (0, 1),
+}
+
+_FIXED_WIDTHS = {
+    TINYINT: 1,
+    SMALLINT: 2,
+    INT: 4,
+    BIGINT: 8,
+    BIT: 1,
+    FLOAT: 8,
+    UNIQUEIDENTIFIER: 16,
+    DATETIME: 8,
+}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A resolved SQL type: a kind plus an optional length / UDT name.
+
+    ``length`` is the declared maximum for CHAR/VARCHAR/BINARY/VARBINARY
+    (``MAX`` meaning unbounded) and is ignored for other kinds.
+    """
+
+    kind: str
+    length: int = 0
+    udt_name: Optional[str] = None
+    #: set on VARBINARY(MAX) columns declared with the FILESTREAM attribute
+    filestream: bool = False
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in _INTEGER_KINDS
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_integer or self.kind == FLOAT
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind in (CHAR, VARCHAR)
+
+    @property
+    def is_binary(self) -> bool:
+        return self.kind in (BINARY, VARBINARY)
+
+    @property
+    def is_variable_length(self) -> bool:
+        """True when the on-page representation has a length prefix."""
+        return self.kind in (VARCHAR, VARBINARY, UDT) or (
+            self.kind == CHAR and False
+        )
+
+    @property
+    def fixed_width(self) -> Optional[int]:
+        """Byte width of the uncompressed fixed-size representation,
+        or ``None`` for variable-length kinds."""
+        if self.kind in _FIXED_WIDTHS:
+            return _FIXED_WIDTHS[self.kind]
+        if self.kind in (CHAR, BINARY) and self.length != MAX:
+            return self.length
+        return None
+
+    # -- validation / coercion ---------------------------------------------
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and lightly coerce) a Python value against this type.
+
+        Returns the canonical Python representation or raises
+        :class:`TypeMismatchError`. ``None`` always passes (NULL).
+        """
+        if value is None:
+            return None
+        if self.is_integer:
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+                else:
+                    raise TypeMismatchError(
+                        f"expected {self.kind}, got {type(value).__name__}"
+                    )
+            lo, hi = _INT_RANGES[self.kind]
+            if not lo <= value <= hi:
+                raise TypeMismatchError(
+                    f"value {value} out of range for {self.kind}"
+                )
+            return value
+        if self.kind == FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeMismatchError(
+                    f"expected FLOAT, got {type(value).__name__}"
+                )
+            return float(value)
+        if self.kind == DATETIME:
+            if not isinstance(value, (int, float)):
+                raise TypeMismatchError(
+                    f"expected DATETIME (posix seconds), got {type(value).__name__}"
+                )
+            return float(value)
+        if self.is_string:
+            if not isinstance(value, str):
+                raise TypeMismatchError(
+                    f"expected {self}, got {type(value).__name__}"
+                )
+            if self.length not in (0, MAX) and len(value) > self.length:
+                raise TypeMismatchError(
+                    f"string of length {len(value)} exceeds {self}"
+                )
+            if self.kind == CHAR and self.length not in (0, MAX):
+                value = value.ljust(self.length)
+            return value
+        if self.is_binary:
+            if isinstance(value, (bytearray, memoryview)):
+                value = bytes(value)
+            if not isinstance(value, bytes):
+                raise TypeMismatchError(
+                    f"expected {self}, got {type(value).__name__}"
+                )
+            if self.length not in (0, MAX) and len(value) > self.length:
+                raise TypeMismatchError(
+                    f"binary of length {len(value)} exceeds {self}"
+                )
+            return value
+        if self.kind == UNIQUEIDENTIFIER:
+            if isinstance(value, uuid.UUID):
+                return value
+            if isinstance(value, str):
+                try:
+                    return uuid.UUID(value)
+                except ValueError as exc:
+                    raise TypeMismatchError(
+                        f"bad UNIQUEIDENTIFIER string {value!r}"
+                    ) from exc
+            if isinstance(value, bytes) and len(value) == 16:
+                return uuid.UUID(bytes=value)
+            raise TypeMismatchError(
+                f"expected UNIQUEIDENTIFIER, got {type(value).__name__}"
+            )
+        if self.kind == UDT:
+            # UDT payloads travel as the UDT's python object or raw bytes;
+            # serialisation is delegated to the UDT contract at storage time.
+            return value
+        raise TypeMismatchError(f"unknown type kind {self.kind!r}")
+
+    # -- binary encoding of single values (used by the row serialiser) ------
+
+    def encode(self, value: Any, udt_codec: Optional["UdtCodec"] = None) -> bytes:
+        """Encode a non-NULL value into its uncompressed storage bytes."""
+        if self.is_integer:
+            width = _FIXED_WIDTHS[self.kind]
+            return int(value).to_bytes(width, "little", signed=self.kind != TINYINT and self.kind != BIT)
+        if self.kind in (FLOAT, DATETIME):
+            return struct.pack("<d", float(value))
+        if self.kind == UNIQUEIDENTIFIER:
+            return value.bytes
+        if self.is_string:
+            return value.encode("utf-8")
+        if self.is_binary:
+            return bytes(value)
+        if self.kind == UDT:
+            if udt_codec is None:
+                raise TypeMismatchError(f"no codec for UDT {self.udt_name!r}")
+            return udt_codec.serialize(value)
+        raise TypeMismatchError(f"cannot encode kind {self.kind!r}")
+
+    def decode(self, raw: bytes, udt_codec: Optional["UdtCodec"] = None) -> Any:
+        """Inverse of :meth:`encode`."""
+        if self.is_integer:
+            return int.from_bytes(raw, "little", signed=self.kind != TINYINT and self.kind != BIT)
+        if self.kind in (FLOAT, DATETIME):
+            return struct.unpack("<d", raw)[0]
+        if self.kind == UNIQUEIDENTIFIER:
+            return uuid.UUID(bytes=raw)
+        if self.is_string:
+            return raw.decode("utf-8")
+        if self.is_binary:
+            return bytes(raw)
+        if self.kind == UDT:
+            if udt_codec is None:
+                raise TypeMismatchError(f"no codec for UDT {self.udt_name!r}")
+            return udt_codec.deserialize(raw)
+        raise TypeMismatchError(f"cannot decode kind {self.kind!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == UDT:
+            return self.udt_name or "UDT"
+        if self.kind in (CHAR, VARCHAR, BINARY, VARBINARY) and self.length:
+            n = "MAX" if self.length == MAX else str(self.length)
+            suffix = " FILESTREAM" if self.filestream else ""
+            return f"{self.kind}({n}){suffix}"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class UdtCodec:
+    """Serialisation contract for a user-defined type.
+
+    Mirrors the SQL Server CLR UDT contract: a named type with binary
+    (de)serialisation and an optional textual form. ``max_bytes`` mirrors
+    the 2 GB CLR UDT state limit (unenforced here beyond documentation).
+    """
+
+    name: str
+    serialize: Callable[[Any], bytes]
+    deserialize: Callable[[bytes], Any]
+    to_string: Callable[[Any], str] = field(default=str)
+
+
+# -- convenient constructors -------------------------------------------------
+
+
+def int_type() -> SqlType:
+    return SqlType(INT)
+
+
+def bigint_type() -> SqlType:
+    return SqlType(BIGINT)
+
+
+def smallint_type() -> SqlType:
+    return SqlType(SMALLINT)
+
+
+def tinyint_type() -> SqlType:
+    return SqlType(TINYINT)
+
+
+def bit_type() -> SqlType:
+    return SqlType(BIT)
+
+
+def float_type() -> SqlType:
+    return SqlType(FLOAT)
+
+
+def char_type(n: int) -> SqlType:
+    return SqlType(CHAR, length=n)
+
+
+def varchar_type(n: int = MAX) -> SqlType:
+    return SqlType(VARCHAR, length=n)
+
+
+def binary_type(n: int) -> SqlType:
+    return SqlType(BINARY, length=n)
+
+
+def varbinary_type(n: int = MAX, filestream: bool = False) -> SqlType:
+    return SqlType(VARBINARY, length=n, filestream=filestream)
+
+
+def guid_type() -> SqlType:
+    return SqlType(UNIQUEIDENTIFIER)
+
+
+def datetime_type() -> SqlType:
+    return SqlType(DATETIME)
+
+
+def udt_type(name: str) -> SqlType:
+    return SqlType(UDT, udt_name=name)

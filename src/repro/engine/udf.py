@@ -1,0 +1,215 @@
+"""Extensibility contracts: scalar UDFs, TVFs, UDAs, and UDTs.
+
+These mirror the SQL Server 2008 CLR contracts the paper builds on
+(Sections 2.3.2–2.3.4):
+
+**Scalar UDF** — a registered function callable anywhere a scalar
+expression is allowed.
+
+**Table-valued function (TVF)** — the pull-model contract: the function's
+*create* step returns an iterator over internal ("CLR") objects; the query
+processor drives the iterator (``MoveNext``) and converts each object into
+a SQL row through an explicit ``fill_row`` step. Keeping conversion as a
+separate call is deliberate: the paper identifies the per-row
+CLR-boundary conversion in ``FillRow`` as the dominant TVF cost, and the
+benchmarks here measure exactly that seam.
+
+**User-defined aggregate (UDA)** — init / accumulate / merge / terminate,
+with a parallel-safety flag. A parallel-safe UDA can be split across
+partitions and merged, which is what lets the exchange operator
+parallelise it "just like built-in aggregates".
+
+**User-defined type (UDT)** — a named scalar type with binary
+serialisation, registered so it can appear in column definitions (used by
+the bit-packed DNA sequence type of the future-work ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Type
+
+from .errors import BindError, UdfError
+from .schema import Column
+from .types import SqlType, UdtCodec
+
+# ---------------------------------------------------------------------------
+# scalar UDFs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarUdf:
+    """A scalar user-defined function."""
+
+    name: str
+    func: Callable[..., Any]
+    #: None => NULL-in/NULL-out handled by the function itself; True =>
+    #: the engine short-circuits to NULL when any argument is NULL
+    #: (SQL Server's ``OnNullCall`` attribute).
+    returns_null_on_null_input: bool = False
+
+    def __call__(self, *args: Any) -> Any:
+        if self.returns_null_on_null_input and any(a is None for a in args):
+            return None
+        try:
+            return self.func(*args)
+        except Exception as exc:  # surface as a SQL-level error
+            raise UdfError(f"scalar UDF {self.name!r} failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# table-valued functions
+# ---------------------------------------------------------------------------
+
+
+class TableValuedFunction:
+    """Base class for TVFs.
+
+    Subclasses define:
+
+    - ``columns`` — the output schema as :class:`Column` objects;
+    - :meth:`create` — bind the call arguments and return an iterator of
+      internal objects (the CLR ``IEnumerator``);
+    - :meth:`fill_row` — convert one internal object into a tuple of SQL
+      values (the CLR ``FillRow`` conversion).
+
+    The default ``fill_row`` assumes the iterator already yields tuples.
+    """
+
+    name: str = ""
+    columns: Sequence[Column] = ()
+
+    def create(self, *args: Any) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def fill_row(self, obj: Any) -> Tuple[Any, ...]:
+        return tuple(obj)
+
+    def rows(self, *args: Any) -> Iterator[Tuple[Any, ...]]:
+        """Drive the full pull-model loop (MoveNext + FillRow)."""
+        iterator = self.create(*args)
+        fill_row = self.fill_row
+        for obj in iterator:
+            yield fill_row(obj)
+
+
+@dataclass(frozen=True)
+class SimpleTvf(TableValuedFunction):
+    """Wrap a plain generator function as a TVF."""
+
+    name: str = ""
+    columns: Tuple[Column, ...] = ()
+    factory: Callable[..., Iterator[Any]] = None  # type: ignore[assignment]
+    row_filler: Optional[Callable[[Any], Tuple[Any, ...]]] = None
+
+    def create(self, *args: Any) -> Iterator[Any]:
+        return self.factory(*args)
+
+    def fill_row(self, obj: Any) -> Tuple[Any, ...]:
+        if self.row_filler is not None:
+            return self.row_filler(obj)
+        return tuple(obj)
+
+
+# ---------------------------------------------------------------------------
+# user-defined aggregates
+# ---------------------------------------------------------------------------
+
+
+class UserDefinedAggregate:
+    """Base class for UDAs (the SqlUserDefinedAggregate contract).
+
+    Lifecycle: ``init()`` once per group, ``accumulate(*args)`` per input
+    row, ``merge(other)`` to combine partial states (parallel plans),
+    ``terminate()`` to produce the result. State may be arbitrarily large
+    (SQL Server caps it at 2 GB; we only document the cap).
+    """
+
+    #: SQL name used in queries
+    name: str = ""
+    #: number of arguments accepted by accumulate
+    arity: int = 1
+    #: safe to evaluate as partial aggregates merged across partitions
+    parallel_safe: bool = True
+    #: input must arrive ordered by the group's natural order (disables
+    #: hash aggregation; the sliding-window consensus UDA needs this)
+    requires_ordered_input: bool = False
+
+    def init(self) -> None:
+        raise NotImplementedError
+
+    def accumulate(self, *args: Any) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "UserDefinedAggregate") -> None:
+        raise NotImplementedError
+
+    def terminate(self) -> Any:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# registries
+# ---------------------------------------------------------------------------
+
+
+class FunctionLibrary:
+    """The catalog of registered extensions (one per database).
+
+    Lookup is case-insensitive, matching T-SQL identifier rules.
+    """
+
+    def __init__(self):
+        self._scalars: Dict[str, ScalarUdf] = {}
+        self._tvfs: Dict[str, TableValuedFunction] = {}
+        self._udas: Dict[str, Type[UserDefinedAggregate]] = {}
+        self._udts: Dict[str, UdtCodec] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register_scalar(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        returns_null_on_null_input: bool = False,
+    ) -> ScalarUdf:
+        udf = ScalarUdf(name, func, returns_null_on_null_input)
+        self._scalars[name.lower()] = udf
+        return udf
+
+    def register_tvf(self, tvf: TableValuedFunction) -> TableValuedFunction:
+        if not tvf.name:
+            raise BindError("TVF must have a name")
+        if not tvf.columns:
+            raise BindError(f"TVF {tvf.name!r} must declare output columns")
+        self._tvfs[tvf.name.lower()] = tvf
+        return tvf
+
+    def register_uda(self, uda_class: Type[UserDefinedAggregate]) -> None:
+        if not uda_class.name:
+            raise BindError("UDA class must set a name")
+        self._udas[uda_class.name.lower()] = uda_class
+
+    def register_udt(self, codec: UdtCodec) -> None:
+        self._udts[codec.name.lower()] = codec
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def scalar(self, name: str) -> Optional[ScalarUdf]:
+        return self._scalars.get(name.lower())
+
+    def tvf(self, name: str) -> Optional[TableValuedFunction]:
+        return self._tvfs.get(name.lower())
+
+    def uda(self, name: str) -> Optional[Type[UserDefinedAggregate]]:
+        return self._udas.get(name.lower())
+
+    def udt(self, name: str) -> UdtCodec:
+        try:
+            return self._udts[name.lower()]
+        except KeyError:
+            raise BindError(f"unknown UDT {name!r}") from None
+
+    def has_udt(self, name: str) -> bool:
+        return name.lower() in self._udts

@@ -1,0 +1,270 @@
+"""Consensus calling (tertiary analysis for re-sequencing).
+
+Overlapping alignments of one sample are reduced to a single consensus
+sequence per chromosome (paper Figure 6). Two implementations mirror the
+two query shapes of Section 4.2.3:
+
+- :class:`Pileup` — the *conceptually clean* path: pivot every aligned
+  base into per-position observation lists, then call each position.
+  Its memory is O(chromosome length × coverage): the "large intermediate
+  result" the paper found impractical;
+- :class:`SlidingWindowConsensus` — the optimised path: consume
+  alignments ordered by start position and keep only the window of
+  positions that can still receive observations, emitting called bases
+  as the window slides. O(read length) state — what the
+  ``AssembleConsensus`` UDA runs internally.
+
+Base calling is quality-weighted: each observation votes with its Phred
+score, the winning base's consensus quality is the margin over the
+runner-up (a simplification of MAQ's Bayesian model that preserves its
+monotonicity in the inputs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..engine.errors import EngineError
+
+#: base emitted for uncovered positions
+NO_CALL = "N"
+
+#: cap for consensus quality values
+MAX_CONSENSUS_QUALITY = 93
+
+
+class ConsensusError(EngineError):
+    pass
+
+
+def call_base(observations: Sequence[Tuple[str, int]]) -> Tuple[str, int]:
+    """Call one position from ``(base, quality)`` observations.
+
+    Returns ``(base, consensus_quality)``; ``('N', 0)`` when there is no
+    usable observation. 'N' observations are ignored (uncalled bases
+    carry no evidence).
+    """
+    votes: Dict[str, int] = {}
+    for base, quality in observations:
+        if base == NO_CALL:
+            continue
+        votes[base] = votes.get(base, 0) + max(int(quality), 0)
+    if not votes:
+        return NO_CALL, 0
+    ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+    best_base, best_score = ranked[0]
+    runner_up = ranked[1][1] if len(ranked) > 1 else 0
+    quality = min(best_score - runner_up, MAX_CONSENSUS_QUALITY)
+    return best_base, max(quality, 0)
+
+
+@dataclass
+class ConsensusResult:
+    """Consensus for one chromosome plus coverage accounting."""
+
+    chromosome: str
+    sequence: str
+    qualities: List[int]
+    covered_positions: int
+    total_observations: int
+    #: genome position of ``sequence[0]`` (nonzero in unbounded mode)
+    start: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def coverage_fraction(self) -> float:
+        return self.covered_positions / self.length if self.length else 0.0
+
+
+# ---------------------------------------------------------------------------
+# pivot-based pileup (the blocking, large-intermediate path)
+# ---------------------------------------------------------------------------
+
+
+class Pileup:
+    """Materialised per-position observations for one chromosome."""
+
+    def __init__(self, chromosome: str, length: int):
+        if length < 0:
+            raise ConsensusError(f"negative chromosome length {length}")
+        self.chromosome = chromosome
+        self.length = length
+        self._positions: Dict[int, List[Tuple[str, int]]] = {}
+        self.total_observations = 0
+
+    def add_alignment(
+        self, position: int, sequence: str, qualities: Sequence[int]
+    ) -> None:
+        """Pivot one alignment into its per-position observations
+        (what the ``PivotAlignment`` TVF emits)."""
+        if len(sequence) != len(qualities):
+            raise ConsensusError("sequence/quality length mismatch")
+        for offset, (base, quality) in enumerate(zip(sequence, qualities)):
+            pos = position + offset
+            if pos < 0 or pos >= self.length:
+                continue
+            self._positions.setdefault(pos, []).append((base, quality))
+            self.total_observations += 1
+
+    def observation_count(self) -> int:
+        """Size of the pivoted intermediate (rows the pivot plan writes)."""
+        return self.total_observations
+
+    def depth_at(self, position: int) -> int:
+        return len(self._positions.get(position, ()))
+
+    def call(self) -> ConsensusResult:
+        bases: List[str] = []
+        qualities: List[int] = []
+        covered = 0
+        for pos in range(self.length):
+            observations = self._positions.get(pos)
+            if observations:
+                base, quality = call_base(observations)
+                covered += 1
+            else:
+                base, quality = NO_CALL, 0
+            bases.append(base)
+            qualities.append(quality)
+        return ConsensusResult(
+            chromosome=self.chromosome,
+            sequence="".join(bases),
+            qualities=qualities,
+            covered_positions=covered,
+            total_observations=self.total_observations,
+        )
+
+
+# ---------------------------------------------------------------------------
+# sliding-window consensus (the streaming path)
+# ---------------------------------------------------------------------------
+
+
+class SlidingWindowConsensus:
+    """Streaming consensus over alignments ordered by start position.
+
+    Feed alignments with monotonically non-decreasing ``position``; the
+    window keeps only positions that a future alignment could still
+    touch. Peak state is O(max read length + max gap between flushes).
+    """
+
+    def __init__(self, chromosome: str, length: Optional[int] = None):
+        """``length=None`` runs in *unbounded* mode: the consensus starts
+        at the first alignment's position and ends at the last covered
+        position — the mode the ``AssembleConsensus`` UDA uses, since an
+        aggregate does not know the chromosome length."""
+        self.chromosome = chromosome
+        self.length = length
+        self._window: deque = deque()  # observation lists
+        self._window_start = 0 if length is not None else None
+        self.start_position: Optional[int] = 0 if length is not None else None
+        self._bases: List[str] = []
+        self._qualities: List[int] = []
+        self._covered = 0
+        self.total_observations = 0
+        self._last_position = -1
+        self.peak_window = 0
+
+    def add_alignment(
+        self, position: int, sequence: str, qualities: Sequence[int]
+    ) -> None:
+        if position < self._last_position:
+            raise ConsensusError(
+                "alignments must arrive ordered by start position "
+                f"({position} after {self._last_position})"
+            )
+        self._last_position = position
+        if self._window_start is None:
+            self._window_start = position
+            self.start_position = position
+        self._flush_before(position)
+        if len(sequence) != len(qualities):
+            raise ConsensusError("sequence/quality length mismatch")
+        # grow the window to cover this alignment
+        end = position + len(sequence)
+        if self.length is not None:
+            end = min(end, self.length)
+        while self._window_start + len(self._window) < end:
+            self._window.append([])
+        for offset, (base, quality) in enumerate(zip(sequence, qualities)):
+            pos = position + offset
+            if pos < self._window_start:
+                continue
+            if self.length is not None and pos >= self.length:
+                continue
+            self._window[pos - self._window_start].append((base, quality))
+            self.total_observations += 1
+        self.peak_window = max(self.peak_window, len(self._window))
+
+    def _flush_before(self, position: int) -> None:
+        """Call and emit every window position strictly below ``position``
+        — no later alignment can add observations there."""
+        while self._window and self._window_start < position:
+            observations = self._window.popleft()
+            self._emit(observations)
+            self._window_start += 1
+        if not self._window and self._window_start < position:
+            # uncovered gap between alignments
+            limit = position if self.length is None else min(position, self.length)
+            gap = limit - self._window_start
+            if gap > 0:
+                self._bases.extend(NO_CALL * gap)
+                self._qualities.extend([0] * gap)
+                self._window_start += gap
+
+    def _emit(self, observations: List[Tuple[str, int]]) -> None:
+        if observations:
+            base, quality = call_base(observations)
+            self._covered += 1
+        else:
+            base, quality = NO_CALL, 0
+        self._bases.append(base)
+        self._qualities.append(quality)
+
+    def finish(self) -> ConsensusResult:
+        """Flush the tail and produce the chromosome consensus."""
+        if self._window_start is None:
+            self._window_start = 0
+            self.start_position = 0
+        while self._window:
+            self._emit(self._window.popleft())
+            self._window_start += 1
+        if self.length is not None and self._window_start < self.length:
+            gap = self.length - self._window_start
+            self._bases.extend(NO_CALL * gap)
+            self._qualities.extend([0] * gap)
+            self._window_start = self.length
+        return ConsensusResult(
+            chromosome=self.chromosome,
+            sequence="".join(self._bases),
+            qualities=self._qualities,
+            covered_positions=self._covered,
+            total_observations=self.total_observations,
+            start=self.start_position or 0,
+        )
+
+
+def consensus_by_chromosome(
+    alignments: Iterable[Tuple[str, int, str, Sequence[int]]],
+    lengths: Dict[str, int],
+) -> Dict[str, ConsensusResult]:
+    """Convenience driver: ``(chromosome, position, sequence, qualities)``
+    tuples, ordered by (chromosome, position), → per-chromosome results."""
+    results: Dict[str, ConsensusResult] = {}
+    current: Optional[SlidingWindowConsensus] = None
+    for chromosome, position, sequence, qualities in alignments:
+        if current is None or current.chromosome != chromosome:
+            if current is not None:
+                results[current.chromosome] = current.finish()
+            if chromosome not in lengths:
+                raise ConsensusError(f"unknown chromosome {chromosome!r}")
+            current = SlidingWindowConsensus(chromosome, lengths[chromosome])
+        current.add_alignment(position, sequence, qualities)
+    if current is not None:
+        results[current.chromosome] = current.finish()
+    return results

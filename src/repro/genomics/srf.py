@@ -1,0 +1,131 @@
+"""A simple SRF-like container for level-1 data.
+
+The paper (Section 5.3.1) mentions the Sequence Read Format initiative:
+a container that holds not just the short reads and qualities but also
+core image-analysis metrics (intensities, signal-to-noise). This module
+implements a small binary container in that spirit so the hybrid design
+can demonstrate wrapping "SRF files as FileStreams too":
+
+Layout: magic, record count, then per record a length-prefixed name,
+sequence, quality string, and two float metrics (mean intensity,
+signal-to-noise ratio).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Union
+
+from ..engine.errors import EngineError
+from .fastq import FastqRecord
+
+MAGIC = b"SRF\x00\x02"
+
+
+class SrfFormatError(EngineError):
+    pass
+
+
+@dataclass(frozen=True)
+class SrfRecord:
+    """A short read plus image-analysis metrics."""
+
+    name: str
+    sequence: str
+    quality: str
+    intensity: float = 0.0
+    signal_to_noise: float = 0.0
+
+    def to_fastq(self) -> FastqRecord:
+        return FastqRecord(self.name, self.sequence, self.quality)
+
+    @staticmethod
+    def from_fastq(
+        record: FastqRecord,
+        intensity: float = 0.0,
+        signal_to_noise: float = 0.0,
+    ) -> "SrfRecord":
+        return SrfRecord(
+            record.name,
+            record.sequence,
+            record.quality,
+            intensity,
+            signal_to_noise,
+        )
+
+
+def _write_str(handle: IO, text: str) -> None:
+    data = text.encode("ascii")
+    handle.write(struct.pack("<H", len(data)))
+    handle.write(data)
+
+
+def _read_str(handle: IO) -> str:
+    raw = handle.read(2)
+    if len(raw) != 2:
+        raise SrfFormatError("truncated string length")
+    (length,) = struct.unpack("<H", raw)
+    data = handle.read(length)
+    if len(data) != length:
+        raise SrfFormatError("truncated string payload")
+    return data.decode("ascii")
+
+
+def write_srf(
+    records: Iterable[SrfRecord],
+    destination: Union[str, os.PathLike, IO],
+) -> int:
+    """Write a container; returns the record count."""
+    materialised: List[SrfRecord] = list(records)
+    if isinstance(destination, (str, os.PathLike)):
+        handle: IO = open(destination, "wb")
+        owned = True
+    else:
+        handle = destination
+        owned = False
+    try:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<I", len(materialised)))
+        for record in materialised:
+            _write_str(handle, record.name)
+            _write_str(handle, record.sequence)
+            _write_str(handle, record.quality)
+            handle.write(
+                struct.pack("<ff", record.intensity, record.signal_to_noise)
+            )
+    finally:
+        if owned:
+            handle.close()
+    return len(materialised)
+
+
+def read_srf(source: Union[str, os.PathLike, IO]) -> Iterator[SrfRecord]:
+    """Stream records from a container."""
+    if isinstance(source, (str, os.PathLike)):
+        handle: IO = open(source, "rb")
+        owned = True
+    else:
+        handle = source
+        owned = False
+    try:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise SrfFormatError("not an SRF container (bad magic)")
+        raw = handle.read(4)
+        if len(raw) != 4:
+            raise SrfFormatError("truncated record count")
+        (count,) = struct.unpack("<I", raw)
+        for _ in range(count):
+            name = _read_str(handle)
+            sequence = _read_str(handle)
+            quality = _read_str(handle)
+            metrics = handle.read(8)
+            if len(metrics) != 8:
+                raise SrfFormatError("truncated metrics")
+            intensity, snr = struct.unpack("<ff", metrics)
+            yield SrfRecord(name, sequence, quality, intensity, snr)
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,47 @@
+"""Shared fixtures: a small synthetic genome, gene annotations, and
+simulated lanes, session-scoped for speed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.genomics.aligner import ShortReadAligner
+from repro.genomics.simulate import (
+    annotate_genes,
+    generate_reference,
+    simulate_dge_lane,
+    simulate_resequencing_lane,
+)
+
+
+@pytest.fixture(scope="session")
+def reference():
+    return generate_reference(
+        n_chromosomes=2, chromosome_length=20_000, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def genes(reference):
+    return annotate_genes(
+        reference, n_genes=25, gene_length=(300, 900), seed=102
+    )
+
+
+@pytest.fixture(scope="session")
+def dge_reads(reference, genes):
+    return list(
+        simulate_dge_lane(reference, genes, n_reads=1200, seed=103)
+    )
+
+
+@pytest.fixture(scope="session")
+def reseq_reads(reference):
+    return list(
+        simulate_resequencing_lane(reference, n_reads=1500, seed=104)
+    )
+
+
+@pytest.fixture(scope="session")
+def aligner(reference):
+    return ShortReadAligner(reference)

@@ -1,0 +1,112 @@
+"""Differential expression analysis."""
+
+import math
+
+import pytest
+
+from repro.core import GenomicsWarehouse
+from repro.core.differential import (
+    DifferentialResult,
+    differential_expression,
+    log2_fold_change,
+    two_proportion_p_value,
+)
+from repro.engine.errors import EngineError
+from repro.genomics import simulate_dge_lane
+
+
+class TestStatistics:
+    def test_equal_proportions_not_significant(self):
+        assert two_proportion_p_value(50, 1000, 50, 1000) == pytest.approx(1.0)
+
+    def test_large_difference_significant(self):
+        assert two_proportion_p_value(200, 1000, 20, 1000) < 1e-6
+
+    def test_symmetry(self):
+        p1 = two_proportion_p_value(30, 500, 80, 500)
+        p2 = two_proportion_p_value(80, 500, 30, 500)
+        assert p1 == pytest.approx(p2)
+
+    def test_small_counts_not_significant(self):
+        assert two_proportion_p_value(1, 1000, 0, 1000) > 0.05
+
+    def test_degenerate_inputs(self):
+        assert two_proportion_p_value(0, 0, 5, 100) == 1.0
+        assert two_proportion_p_value(0, 100, 0, 100) == 1.0
+
+    def test_matches_scipy_chi2(self):
+        """Cross-check against scipy's chi-squared test (z^2 == chi2
+        with 1 dof for the 2x2 table, without continuity correction)."""
+        from scipy.stats import chi2_contingency
+
+        count_a, total_a, count_b, total_b = 40, 800, 70, 900
+        table = [
+            [count_a, total_a - count_a],
+            [count_b, total_b - count_b],
+        ]
+        chi2, scipy_p, _dof, _exp = chi2_contingency(table, correction=False)
+        ours = two_proportion_p_value(count_a, total_a, count_b, total_b)
+        assert ours == pytest.approx(scipy_p, rel=1e-9)
+
+    def test_log2_fold_change_direction(self):
+        assert log2_fold_change(100, 1000, 25, 1000) > 0
+        assert log2_fold_change(25, 1000, 100, 1000) < 0
+
+    def test_log2_fold_change_zero_counts_finite(self):
+        value = log2_fold_change(0, 1000, 50, 1000)
+        assert math.isfinite(value) and value < 0
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def warehouse(self, reference, genes):
+        wh = GenomicsWarehouse()
+        wh.load_reference(reference)
+        wh.load_genes(genes)
+        wh.register_experiment(1, "diff", "dge")
+        wh.register_sample_group(1, 1, "conditions")
+        wh.register_sample(1, 1, 1, "healthy")
+        wh.register_sample(1, 1, 2, "disease")
+        # different seeds shuffle the Zipf head -> different profiles
+        for s_id, seed in ((1, 31), (2, 99)):
+            reads = list(
+                simulate_dge_lane(reference, genes, 4000, seed=seed)
+            )
+            wh.import_lane_relational(1, 1, s_id, reads, lane=s_id)
+            wh.bin_unique_tags(1, 1, s_id)
+            wh.align_tags(1, 1, s_id)
+            wh.compute_gene_expression(1, 1, s_id)
+        yield wh
+        wh.close()
+
+    def test_results_sorted_by_significance(self, warehouse):
+        results = differential_expression(warehouse.db, 1, 1, 1, 2)
+        assert results
+        p_values = [r.p_value for r in results]
+        assert p_values == sorted(p_values)
+
+    def test_different_profiles_yield_significant_genes(self, warehouse):
+        results = differential_expression(warehouse.db, 1, 1, 1, 2)
+        assert any(r.significant for r in results)
+
+    def test_fold_change_sign_matches_counts(self, warehouse):
+        for result in differential_expression(warehouse.db, 1, 1, 1, 2):
+            if result.count_a > result.count_b * 2:
+                assert result.log2_fold_change > 0
+            elif result.count_b > result.count_a * 2:
+                assert result.log2_fold_change < 0
+
+    def test_self_comparison_not_significant(self, warehouse):
+        results = differential_expression(warehouse.db, 1, 1, 1, 1)
+        assert all(r.p_value == pytest.approx(1.0) for r in results)
+
+    def test_min_total_filters(self, warehouse):
+        loose = differential_expression(warehouse.db, 1, 1, 1, 2, min_total=1)
+        strict = differential_expression(
+            warehouse.db, 1, 1, 1, 2, min_total=100
+        )
+        assert len(strict) <= len(loose)
+
+    def test_missing_samples_rejected(self, warehouse):
+        with pytest.raises(EngineError):
+            differential_expression(warehouse.db, 9, 9, 1, 2)

@@ -1,0 +1,74 @@
+"""Schema DDL for the physical designs."""
+
+import pytest
+
+from repro.core.schemas import (
+    create_filestream_schema,
+    create_normalized_schema,
+    create_one_to_one_schema,
+    create_reference_tables,
+    create_workflow_tables,
+)
+from repro.core.wrappers import register_extensions
+from repro.engine import Database
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        yield database
+
+
+class TestNormalizedSchema:
+    def test_all_tables_created(self, db):
+        create_normalized_schema(db)
+        for table in ("Read", "Tag", "Alignment", "GeneExpression", "Consensus"):
+            assert db.catalog.has_table(table)
+
+    def test_position_clustering_key(self, db):
+        create_normalized_schema(db, alignment_clustering="position")
+        pk = db.table("Alignment").schema.primary_key
+        assert pk == ("a_e_id", "a_sg_id", "a_s_id", "a_rs_id", "a_pos", "a_id")
+
+    def test_read_clustering_key(self, db):
+        create_normalized_schema(db, alignment_clustering="read")
+        pk = db.table("Alignment").schema.primary_key
+        assert pk == ("a_e_id", "a_sg_id", "a_s_id", "a_r_id", "a_id")
+
+    def test_bad_clustering_rejected(self, db):
+        with pytest.raises(ValueError):
+            create_normalized_schema(db, alignment_clustering="hash")
+
+    def test_compression_applied(self, db):
+        create_normalized_schema(db, compression="ROW")
+        assert db.table("Read").schema.compression == "ROW"
+        assert db.table("Alignment").schema.compression == "ROW"
+
+    def test_udt_sequence_type(self, db):
+        register_extensions(db)
+        create_normalized_schema(db, sequence_type="DnaSequence")
+        column = db.table("Read").schema.column("short_read_seq")
+        assert column.sql_type.kind == "UDT"
+
+
+class TestOtherSchemas:
+    def test_one_to_one(self, db):
+        create_one_to_one_schema(db)
+        for table in ("ReadsFlat", "TagsFlat", "AlignmentsFlat", "GeneExpressionFlat"):
+            assert db.catalog.has_table(table)
+
+    def test_workflow_tables_with_fk_chain(self, db):
+        create_workflow_tables(db)
+        schema = db.table("Sample").schema
+        assert schema.foreign_keys[0].parent_table == "SampleGroup"
+
+    def test_reference_tables(self, db):
+        create_reference_tables(db)
+        assert db.catalog.has_table("ReferenceSequence")
+        assert db.catalog.has_table("Gene")
+
+    def test_filestream_schema(self, db):
+        create_filestream_schema(db)
+        schema = db.table("ShortReadFiles").schema
+        assert schema.column("reads").sql_type.filestream
+        assert schema.column("guid").rowguidcol

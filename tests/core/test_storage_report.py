@@ -1,0 +1,127 @@
+"""Storage-efficiency harness: the Tables 1/2 invariants."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.storage_report import (
+    ARTIFACT_LABELS,
+    DESIGNS,
+    ScenarioData,
+    format_table,
+    measure_storage,
+)
+
+
+def bin_tags(reads):
+    counts = Counter(r.sequence for r in reads if "N" not in r.sequence)
+    return [
+        (rank, count, seq)
+        for rank, (seq, count) in enumerate(
+            sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])), start=1
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def dge_table(reference, genes, dge_reads, aligner, tmp_path_factory):
+    hits = [a for _r, a in aligner.align_all(dge_reads[:400]) if a]
+    scenario = ScenarioData(
+        kind="dge",
+        reads=dge_reads,
+        alignments=hits,
+        ranked_tags=bin_tags(dge_reads),
+        expression=[(f"GENE{i:05d}", i * 3, i) for i in range(1, 15)],
+    )
+    return measure_storage(
+        scenario, workdir=tmp_path_factory.mktemp("dge-storage")
+    )
+
+
+@pytest.fixture(scope="module")
+def reseq_table(reference, reseq_reads, aligner, tmp_path_factory):
+    hits = [a for _r, a in aligner.align_all(reseq_reads[:400]) if a]
+    scenario = ScenarioData(
+        kind="resequencing", reads=reseq_reads, alignments=hits
+    )
+    return measure_storage(
+        scenario, workdir=tmp_path_factory.mktemp("reseq-storage")
+    )
+
+
+class TestTable1Shapes:
+    """The claims of Section 5.1.1 (digital gene expression)."""
+
+    def test_filestream_equals_files(self, dge_table):
+        reads = dge_table["short_reads"]
+        assert reads["filestream"] == reads["files"]
+
+    def test_one_to_one_no_smaller_than_files(self, dge_table):
+        reads = dge_table["short_reads"]
+        assert reads["one_to_one"] >= reads["files"]
+
+    def test_row_compression_brings_normalized_to_files_level(self, dge_table):
+        reads = dge_table["short_reads"]
+        assert reads["norm_row"] <= reads["files"] * 1.1
+
+    def test_page_compression_effective_on_repetitive_tags(self, dge_table):
+        reads = dge_table["short_reads"]
+        assert reads["norm_page"] < reads["norm_row"]
+
+    def test_normalized_beats_one_to_one_on_linked_data(self, dge_table):
+        alignments = dge_table["alignments"]
+        assert alignments["normalized"] < alignments["one_to_one"]
+
+    def test_every_artifact_measured(self, dge_table):
+        assert set(dge_table) == {
+            "short_reads",
+            "unique_tags",
+            "alignments",
+            "expression",
+        }
+
+
+class TestTable2Shapes:
+    """The claims of Section 5.1.2 (1000 Genomes re-sequencing)."""
+
+    def test_filestream_equals_files(self, reseq_table):
+        reads = reseq_table["short_reads"]
+        assert reads["filestream"] == reads["files"]
+
+    def test_normalized_alignments_save_large_fraction(self, reseq_table):
+        """'for the alignments, we can save 40% space this way'"""
+        alignments = reseq_table["alignments"]
+        assert alignments["normalized"] < alignments["files"] * 0.6
+
+    def test_page_compression_weak_on_unique_reads(self, reseq_table):
+        """Unique sequences defeat prefix/dictionary compression: the
+        PAGE gain over ROW must be small on this workload."""
+        reads = reseq_table["short_reads"]
+        row_size, page_size = reads["norm_row"], reads["norm_page"]
+        assert page_size >= row_size * 0.9
+
+    def test_udt_shrinks_sequence_payload(self, reseq_table):
+        reads = reseq_table["short_reads"]
+        assert reads["norm_udt"] < reads["normalized"]
+
+    def test_no_tags_artifact_for_resequencing(self, reseq_table):
+        assert "unique_tags" not in reseq_table
+
+
+class TestFormatting:
+    def test_render_includes_all_designs(self, dge_table):
+        text = format_table(dge_table, "Table 1")
+        for design in DESIGNS:
+            if any(design in row for row in dge_table.values()):
+                assert design == "files" or True  # labels checked below
+        for label in ("Files", "FileStream", "Normalized"):
+            assert label in text
+
+    def test_render_shows_ratios(self, dge_table):
+        text = format_table(dge_table, "Table 1")
+        assert "1.00x" in text  # files vs itself
+
+    def test_render_includes_artifact_labels(self, dge_table):
+        text = format_table(dge_table, "Table 1")
+        for key in dge_table:
+            assert ARTIFACT_LABELS[key] in text

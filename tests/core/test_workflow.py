@@ -1,0 +1,106 @@
+"""SequencingWorkflow: phases and provenance."""
+
+import json
+
+import pytest
+
+from repro.core import GenomicsWarehouse, SequencingWorkflow
+
+
+@pytest.fixture
+def dge_setup(reference, genes):
+    wh = GenomicsWarehouse()
+    wh.load_reference(reference)
+    wh.load_genes(genes)
+    wh.register_experiment(1, "dge run", "dge")
+    wh.register_sample_group(1, 1, "grp")
+    wh.register_sample(1, 1, 1, "smp")
+    workflow = SequencingWorkflow(wh)
+    yield wh, workflow
+    wh.close()
+
+
+@pytest.fixture
+def reseq_setup(reference):
+    wh = GenomicsWarehouse()
+    wh.load_reference(reference)
+    wh.register_experiment(2, "reseq run", "resequencing")
+    wh.register_sample_group(2, 1, "grp")
+    wh.register_sample(2, 1, 1, "smp")
+    workflow = SequencingWorkflow(wh)
+    yield wh, workflow
+    wh.close()
+
+
+class TestDgeWorkflow:
+    def test_all_phases(self, dge_setup, dge_reads):
+        wh, workflow = dge_setup
+        counts = workflow.run_all(1, 1, 1, dge_reads, kind="dge")
+        assert counts["reads"] == len(dge_reads)
+        assert counts["alignments"] > 0
+        assert counts["tertiary"] > 0
+        assert wh.db.scalar("SELECT COUNT(*) FROM GeneExpression") == counts[
+            "tertiary"
+        ]
+
+    def test_provenance_records_every_phase(self, dge_setup, dge_reads):
+        _wh, workflow = dge_setup
+        workflow.run_all(1, 1, 1, dge_reads, kind="dge")
+        events = workflow.provenance(1, 1, 1)
+        phases = [phase for phase, _tool, _params, _rows in events]
+        assert phases == [1, 2, 2, 3]  # import, binning, align, expression
+
+    def test_provenance_params_are_json(self, dge_setup, dge_reads):
+        _wh, workflow = dge_setup
+        workflow.run_all(1, 1, 1, dge_reads, kind="dge", hybrid=True)
+        events = workflow.provenance(1, 1, 1)
+        params = json.loads(events[0][2])
+        assert params["hybrid"] is True
+
+    def test_non_hybrid_path(self, dge_setup, dge_reads):
+        wh, workflow = dge_setup
+        workflow.run_primary(1, 1, 1, dge_reads[:60], hybrid=False)
+        assert wh.db.scalar("SELECT COUNT(*) FROM ShortReadFiles") == 0
+        assert wh.db.scalar("SELECT COUNT(*) FROM [Read]") == 60
+
+
+class TestReseqWorkflow:
+    def test_all_phases_with_consensus(self, reseq_setup, reseq_reads):
+        wh, workflow = reseq_setup
+        counts = workflow.run_all(
+            2, 1, 1, reseq_reads[:500], kind="resequencing"
+        )
+        assert counts["reads"] == 500
+        assert counts["tertiary"] >= 1
+        assert wh.db.scalar("SELECT COUNT(*) FROM Consensus") >= 1
+
+    def test_pivot_method_option(self, reseq_setup, reseq_reads):
+        wh, workflow = reseq_setup
+        workflow.run_primary(2, 1, 1, reseq_reads[:300], hybrid=False)
+        workflow.run_secondary(2, 1, 1, "resequencing")
+        count = workflow.run_tertiary(
+            2, 1, 1, "resequencing", consensus_method="pivot"
+        )
+        assert count >= 1
+
+    def test_unknown_kind_rejected(self, reseq_setup):
+        from repro.engine.errors import EngineError
+
+        _wh, workflow = reseq_setup
+        with pytest.raises(EngineError):
+            workflow.run_secondary(2, 1, 1, "metagenomics")
+
+
+class TestEventAccounting:
+    def test_durations_recorded(self, dge_setup, dge_reads):
+        _wh, workflow = dge_setup
+        workflow.run_all(1, 1, 1, dge_reads[:100], kind="dge")
+        assert all(event.duration >= 0 for event in workflow.events)
+
+    def test_events_isolated_per_sample(self, dge_setup, dge_reads):
+        wh, workflow = dge_setup
+        wh.register_sample(1, 1, 2, "second")
+        workflow.run_primary(1, 1, 1, dge_reads[:30], hybrid=False)
+        workflow.run_primary(1, 1, 2, dge_reads[30:60], lane=2, hybrid=False)
+        assert len(workflow.provenance(1, 1, 1)) == 1
+        assert len(workflow.provenance(1, 1, 2)) == 1

@@ -1,0 +1,330 @@
+"""File-wrapper TVFs, chunked reading, UDAs, and the DNA UDT."""
+
+import io
+
+import pytest
+
+from repro.core.wrappers import (
+    AssembleConsensusUda,
+    AssembleSequenceUda,
+    CallBaseUda,
+    ChunkedBlobReader,
+    ConsensusPiece,
+    DNA_SEQUENCE_UDT,
+    ListShortReadsTvf,
+    PivotAlignmentTvf,
+    parse_fasta_entry,
+    parse_fastq_entry,
+    register_extensions,
+)
+from repro.core.schemas import create_filestream_schema
+from repro.engine import Database
+from repro.engine.errors import UdfError
+from repro.genomics.fastq import FastqRecord, fastq_bytes
+from repro.genomics.sequences import PackedDna
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        register_extensions(database)
+        create_filestream_schema(database)
+        yield database
+
+
+def sample_records(n=50):
+    return [
+        FastqRecord(
+            f"IL4_855:1:{i}:10:{i * 3}",
+            "ACGTACGTACGTACGTACGTACGTACGTACGTACGT"[: 20 + (i % 16)],
+            "I" * (20 + (i % 16)),
+        )
+        for i in range(n)
+    ]
+
+
+def import_lane(db, records, sample=855, lane=1):
+    import uuid
+
+    payload = fastq_bytes(records)
+    db.table("ShortReadFiles").insert(
+        (uuid.uuid4(), sample, lane, "FastQ", payload)
+    )
+
+
+class TestChunkedBlobReader:
+    @pytest.mark.parametrize("chunk_size", [256, 300, 1024, 65536])
+    def test_fastq_parse_equals_reference(self, db, chunk_size):
+        """The paging algorithm must be invisible: any chunk size yields
+        exactly the records a whole-file parse yields."""
+        records = sample_records(80)
+        guid = db.filestream.create(fastq_bytes(records))
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=chunk_size)
+        parsed = [
+            (name.decode(), seq.decode(), qual.decode())
+            for name, seq, qual in reader.entries(parse_fastq_entry)
+        ]
+        assert parsed == [
+            (r.name, r.sequence, r.quality) for r in records
+        ]
+
+    def test_chunk_boundary_inside_entry(self, db):
+        """Choose a chunk size guaranteed to split records."""
+        records = sample_records(10)
+        payload = fastq_bytes(records)
+        guid = db.filestream.create(payload)
+        # prime-sized chunks never align with the 4-line records
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=257)
+        assert sum(1 for _ in reader.entries(parse_fastq_entry)) == 10
+
+    def test_fasta_entries(self, db):
+        text = ">r1\nACGT\nACGT\n>r2\nGGGG\n"
+        guid = db.filestream.create(text.encode())
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=256)
+        entries = [
+            (n.decode(), s.decode())
+            for n, s in reader.entries(parse_fasta_entry)
+        ]
+        assert entries == [("r1", "ACGTACGT"), ("r2", "GGGG")]
+
+    def test_missing_final_newline_tolerated(self, db):
+        guid = db.filestream.create(b"@r\nAC\n+\nII")  # no trailing newline
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=256)
+        entries = list(reader.entries(parse_fastq_entry))
+        assert len(entries) == 1
+        assert entries[0][2] == b"II"
+
+    def test_malformed_entry_raises(self, db):
+        guid = db.filestream.create(b"not fastq at all\njunk\njunk\njunk\n")
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=256)
+        with pytest.raises(UdfError):
+            list(reader.entries(parse_fastq_entry))
+
+    def test_tiny_chunk_rejected(self, db):
+        guid = db.filestream.create(b"x")
+        with pytest.raises(UdfError):
+            ChunkedBlobReader(db.filestream, guid, chunk_size=16)
+
+    def test_chunks_counted(self, db):
+        guid = db.filestream.create(fastq_bytes(sample_records(100)))
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=512)
+        list(reader.entries(parse_fastq_entry))
+        assert reader.chunks_read > 2
+
+
+class TestListShortReadsTvf:
+    def test_via_sql(self, db):
+        records = sample_records(30)
+        import_lane(db, records)
+        rows = db.query("SELECT * FROM ListShortReads(855, 1, 'FastQ')")
+        assert len(rows) == 30
+        assert rows[0] == (
+            records[0].name,
+            records[0].sequence,
+            records[0].quality,
+        )
+
+    def test_count_star(self, db):
+        import_lane(db, sample_records(25))
+        assert (
+            db.scalar("SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ')")
+            == 25
+        )
+
+    def test_missing_lane_raises(self, db):
+        import_lane(db, sample_records(5))
+        with pytest.raises(UdfError):
+            db.query("SELECT * FROM ListShortReads(855, 9, 'FastQ')")
+
+    def test_unsupported_format(self, db):
+        import_lane(db, sample_records(5))
+        with pytest.raises(UdfError):
+            db.query("SELECT * FROM ListShortReads(855, 1, 'SFF')")
+
+    def test_where_over_tvf(self, db):
+        import_lane(db, sample_records(40))
+        rows = db.query(
+            """
+            SELECT short_read_seq FROM ListShortReads(855, 1, 'FastQ')
+            WHERE CHARINDEX('N', short_read_seq) = 0
+            """
+        )
+        assert len(rows) == 40  # no Ns in the synthetic records
+
+
+class TestPivotAlignment:
+    def test_pivots_positions(self):
+        tvf = PivotAlignmentTvf()
+        rows = [tvf.fill_row(obj) for obj in tvf.create(100, "ACG", "!#%")]
+        assert rows == [
+            (100, "A", 0),
+            (101, "C", 2),
+            (102, "G", 4),
+        ]
+
+    def test_null_sequence_yields_nothing(self):
+        tvf = PivotAlignmentTvf()
+        assert list(tvf.create(5, None, None)) == []
+
+    def test_missing_quality_padded_zero(self):
+        tvf = PivotAlignmentTvf()
+        rows = list(tvf.create(0, "AC", ""))
+        assert [r[2] for r in rows] == [0, 0]
+
+
+class TestUdas:
+    def test_call_base_lifecycle(self):
+        uda = CallBaseUda()
+        uda.init()
+        for base, qual in [("A", 30), ("C", 10), ("A", 5)]:
+            uda.accumulate(base, qual)
+        assert uda.terminate() == "A"
+
+    def test_call_base_merge(self):
+        left, right = CallBaseUda(), CallBaseUda()
+        left.init()
+        right.init()
+        left.accumulate("A", 10)
+        right.accumulate("C", 30)
+        left.merge(right)
+        assert left.terminate() == "C"
+
+    def test_call_base_ignores_n(self):
+        uda = CallBaseUda()
+        uda.init()
+        uda.accumulate("N", 99)
+        assert uda.terminate() == "N"  # no evidence at all
+
+    def test_assemble_sequence_sorts_and_fills_gaps(self):
+        uda = AssembleSequenceUda()
+        uda.init()
+        for pos, base in [(7, "T"), (3, "A"), (5, "G")]:
+            uda.accumulate(pos, base)
+        piece = uda.terminate()
+        assert piece == ConsensusPiece(3, "ANGNT")
+
+    def test_assemble_sequence_empty(self):
+        uda = AssembleSequenceUda()
+        uda.init()
+        assert uda.terminate() == ConsensusPiece(0, "")
+
+    def test_assemble_consensus_streams(self):
+        uda = AssembleConsensusUda()
+        uda.init()
+        uda.accumulate(10, "ACGT", "IIII")
+        uda.accumulate(12, "GTTT", "IIII")
+        piece = uda.terminate()
+        assert piece.start == 10
+        assert piece.sequence == "ACGTTT"
+
+    def test_assemble_consensus_refuses_merge(self):
+        a, b = AssembleConsensusUda(), AssembleConsensusUda()
+        a.init()
+        b.init()
+        with pytest.raises(UdfError):
+            a.merge(b)
+
+    def test_assemble_consensus_flags(self):
+        assert AssembleConsensusUda.requires_ordered_input
+        assert not AssembleConsensusUda.parallel_safe
+        assert AssembleSequenceUda.parallel_safe
+
+
+class TestDnaUdt:
+    def test_codec_round_trip(self):
+        raw = DNA_SEQUENCE_UDT.serialize("ACGTN")
+        assert DNA_SEQUENCE_UDT.deserialize(raw) == PackedDna("ACGTN")
+
+    def test_accepts_packed(self):
+        packed = PackedDna("ACGT")
+        assert DNA_SEQUENCE_UDT.deserialize(
+            DNA_SEQUENCE_UDT.serialize(packed)
+        ) == packed
+
+    def test_rejects_other_types(self):
+        with pytest.raises(UdfError):
+            DNA_SEQUENCE_UDT.serialize(1234)
+
+    def test_usable_as_column_type(self, db):
+        db.execute(
+            "CREATE TABLE seqs (id INT PRIMARY KEY, seq DnaSequence)"
+        )
+        db.table("seqs").insert((1, "ACGTACGT"))
+        row = db.query("SELECT seq FROM seqs")[0]
+        assert str(row[0]) == "ACGTACGT"
+
+    def test_udt_column_is_smaller_than_varchar(self, db):
+        db.execute("CREATE TABLE a (id INT PRIMARY KEY, seq VARCHAR(100))")
+        db.execute("CREATE TABLE b (id INT PRIMARY KEY, seq DnaSequence)")
+        for i in range(100):
+            db.table("a").insert((i, "ACGT" * 16))
+            db.table("b").insert((i, "ACGT" * 16))
+        db.table("a").finish_bulk_load()
+        db.table("b").finish_bulk_load()
+        assert db.table("b").stored_bytes() < db.table("a").stored_bytes() * 0.55
+
+
+class TestSrfFormat:
+    def test_srf_blob_via_tvf(self, db):
+        """Section 5.3.1: SRF containers wrap as FileStreams too."""
+        import io
+        import uuid
+
+        from repro.genomics.srf import SrfRecord, write_srf
+
+        records = [
+            SrfRecord(f"r{i}", "ACGTACGT", "IIIIIIII", 100.0 + i, 12.5)
+            for i in range(20)
+        ]
+        buffer = io.BytesIO()
+        write_srf(records, buffer)
+        db.table("ShortReadFiles").insert(
+            (uuid.uuid4(), 900, 1, "SRF", buffer.getvalue())
+        )
+        rows = db.query("SELECT * FROM ListShortReads(900, 1, 'SRF')")
+        assert rows == [(r.name, r.sequence, r.quality) for r in records]
+
+    def test_srf_count_star(self, db):
+        import io
+        import uuid
+
+        from repro.genomics.srf import SrfRecord, write_srf
+
+        buffer = io.BytesIO()
+        write_srf(
+            [SrfRecord(f"x{i}", "AC", "II") for i in range(7)], buffer
+        )
+        db.table("ShortReadFiles").insert(
+            (uuid.uuid4(), 901, 2, "SRF", buffer.getvalue())
+        )
+        assert (
+            db.scalar("SELECT COUNT(*) FROM ListShortReads(901, 2, 'SRF')")
+            == 7
+        )
+
+
+class TestChunkBoundaryEdges:
+    def test_entry_larger_than_buffer_raises(self, db):
+        big_seq = "A" * 2000
+        payload = f"@huge\n{big_seq}\n+\n{'I' * 2000}\n".encode()
+        guid = db.filestream.create(payload)
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=512)
+        with pytest.raises(UdfError):
+            list(reader.entries(parse_fastq_entry))
+
+    def test_fasta_entry_spanning_many_chunks(self, db):
+        # one record larger than a chunk is an error; several records
+        # each smaller than the chunk but crossing boundaries are fine
+        text = "".join(
+            f">r{i}\n{'ACGT' * 30}\n" for i in range(50)
+        )
+        guid = db.filestream.create(text.encode())
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=256)
+        entries = list(reader.entries(parse_fasta_entry))
+        assert len(entries) == 50
+        assert all(seq == b"ACGT" * 30 for _n, seq in entries)
+
+    def test_empty_blob_yields_nothing(self, db):
+        guid = db.filestream.create(b"")
+        reader = ChunkedBlobReader(db.filestream, guid, chunk_size=256)
+        assert list(reader.entries(parse_fastq_entry)) == []

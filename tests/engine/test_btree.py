@@ -1,0 +1,185 @@
+"""B+tree: ordering, range scans, uniqueness, NULL handling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.errors import DuplicateKeyError
+from repro.engine.index.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert((5,), "five")
+        assert tree.get((5,)) == "five"
+
+    def test_missing_key_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(KeyError):
+            tree.get((1,))
+
+    def test_duplicate_rejected_when_unique(self):
+        tree = BPlusTree(unique=True)
+        tree.insert((1,), "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert((1,), "b")
+
+    def test_non_unique_accumulates(self):
+        tree = BPlusTree(unique=False)
+        tree.insert((1,), "a")
+        tree.insert((1,), "b")
+        assert sorted(tree.get((1,))) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_len_counts_pairs(self):
+        tree = BPlusTree()
+        for i in range(1000):
+            tree.insert((i,), i)
+        assert len(tree) == 1000
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert((1, "a"), None)
+        assert tree.contains((1, "a"))
+        assert not tree.contains((1, "b"))
+
+
+class TestOrdering:
+    def test_items_sorted_after_random_inserts(self):
+        tree = BPlusTree(order=8)
+        keys = list(range(2000))
+        random.Random(5).shuffle(keys)
+        for key in keys:
+            tree.insert((key,), key * 10)
+        result = [key[0] for key, _payload in tree.items()]
+        assert result == sorted(result)
+        assert len(result) == 2000
+
+    def test_composite_keys_sorted_lexicographically(self):
+        tree = BPlusTree()
+        keys = [(2, 1), (1, 9), (1, 1), (2, 0), (1, 5)]
+        for key in keys:
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_nulls_sort_first(self):
+        tree = BPlusTree()
+        tree.insert((5,), "five")
+        tree.insert((None,), "null")
+        tree.insert((1,), "one")
+        assert [k for k, _ in tree.items()] == [(None,), (1,), (5,)]
+
+    def test_depth_grows_logarithmically(self):
+        tree = BPlusTree(order=8)
+        for i in range(5000):
+            tree.insert((i,), i)
+        assert tree.depth() <= 6
+
+
+class TestRange:
+    def make_tree(self):
+        tree = BPlusTree(order=8)
+        for i in range(100):
+            tree.insert((i,), i)
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make_tree()
+        result = [k[0] for k, _ in tree.range((10,), (20,))]
+        assert result == list(range(10, 21))
+
+    def test_open_ended_ranges(self):
+        tree = self.make_tree()
+        assert [k[0] for k, _ in tree.range(None, (5,))] == list(range(6))
+        assert [k[0] for k, _ in tree.range((95,), None)] == list(range(95, 100))
+        assert len(list(tree.range(None, None))) == 100
+
+    def test_exclusive_bounds(self):
+        tree = self.make_tree()
+        result = [
+            k[0]
+            for k, _ in tree.range((10,), (20,), lo_inclusive=False, hi_inclusive=False)
+        ]
+        assert result == list(range(11, 20))
+
+    def test_prefix_range_on_composite_key(self):
+        tree = BPlusTree()
+        for a in range(5):
+            for b in range(5):
+                tree.insert((a, b), (a, b))
+        result = [k for k, _ in tree.range((2,), (2,))]
+        assert result == [(2, b) for b in range(5)]
+
+    def test_empty_range(self):
+        tree = self.make_tree()
+        assert list(tree.range((200,), (300,))) == []
+
+
+class TestDelete:
+    def test_delete_unique(self):
+        tree = BPlusTree()
+        tree.insert((1,), "a")
+        assert tree.delete((1,))
+        assert not tree.contains((1,))
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree()
+        assert not tree.delete((1,))
+
+    def test_delete_specific_payload_non_unique(self):
+        tree = BPlusTree(unique=False)
+        tree.insert((1,), "a")
+        tree.insert((1,), "b")
+        assert tree.delete((1,), payload="a")
+        assert tree.get((1,)) == ["b"]
+
+    def test_delete_whole_key_non_unique(self):
+        tree = BPlusTree(unique=False)
+        tree.insert((1,), "a")
+        tree.insert((1,), "b")
+        assert tree.delete((1,))
+        assert not tree.contains((1,))
+
+    def test_lookups_stay_correct_after_many_deletes(self):
+        tree = BPlusTree(order=8)
+        for i in range(500):
+            tree.insert((i,), i)
+        for i in range(0, 500, 2):
+            assert tree.delete((i,))
+        survivors = [k[0] for k, _ in tree.items()]
+        assert survivors == list(range(1, 500, 2))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), unique=True, max_size=200))
+    def test_matches_sorted_reference(self, keys):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert((key,), key)
+        assert [k[0] for k, _ in tree.items()] == sorted(keys)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), unique=True, min_size=1, max_size=100),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    def test_range_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert((key,), key)
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert [k[0] for k, _ in tree.range((lo,), (hi,))] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(max_size=8), unique=True, max_size=100))
+    def test_string_keys(self, keys):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert((key,), key)
+        assert [k[0] for k, _ in tree.items()] == sorted(keys)

@@ -1,0 +1,248 @@
+"""Expression compilation and SQL semantics (three-valued logic,
+built-ins, LIKE)."""
+
+import uuid
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.errors import BindError, ExecutionError
+from repro.engine.expressions import (
+    Between,
+    BinaryOp,
+    BoundRef,
+    Case,
+    ColumnRef,
+    ExpressionCompiler,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    expression_to_sql,
+    like_match,
+    rewrite,
+)
+from repro.engine.udf import FunctionLibrary
+
+COLUMNS = {"a": 0, "b": 1, "s": 2}
+
+
+def compile_expr(expr, library=None):
+    binder = lambda ref: COLUMNS[ref.name]
+    return ExpressionCompiler(binder, library).compile(expr)
+
+
+def evaluate(expr, row=(1, 2, "text"), library=None):
+    return compile_expr(expr, library)(row)
+
+
+def col(name):
+    return ColumnRef(name)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert evaluate(BinaryOp("+", col("a"), col("b"))) == 3
+        assert evaluate(BinaryOp("-", col("a"), col("b"))) == -1
+        assert evaluate(BinaryOp("*", col("b"), Literal(10))) == 20
+        assert evaluate(BinaryOp("%", Literal(7), Literal(3))) == 1
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate(BinaryOp("/", Literal(7), Literal(2))) == 3
+        assert evaluate(BinaryOp("/", Literal(-7), Literal(2))) == -3
+
+    def test_float_division(self):
+        assert evaluate(BinaryOp("/", Literal(7.0), Literal(2))) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate(BinaryOp("/", Literal(1), Literal(0)))
+
+    def test_null_propagates(self):
+        assert evaluate(BinaryOp("+", Literal(None), Literal(1))) is None
+        assert evaluate(UnaryOp("-", Literal(None))) is None
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparison_matches_python(self, x, y):
+        assert evaluate(BinaryOp("<", Literal(x), Literal(y))) == (x < y)
+        assert evaluate(BinaryOp("=", Literal(x), Literal(y))) == (x == y)
+
+
+class TestThreeValuedLogic:
+    T, F, N = Literal(True), Literal(False), Literal(None)
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("T", "T", True), ("T", "F", False), ("T", "N", None),
+            ("F", "T", False), ("F", "F", False), ("F", "N", False),
+            ("N", "T", None), ("N", "F", False), ("N", "N", None),
+        ],
+    )
+    def test_and_kleene(self, left, right, expected):
+        expr = BinaryOp("AND", getattr(self, left), getattr(self, right))
+        assert evaluate(expr) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("T", "T", True), ("T", "F", True), ("T", "N", True),
+            ("F", "T", True), ("F", "F", False), ("F", "N", None),
+            ("N", "T", True), ("N", "F", None), ("N", "N", None),
+        ],
+    )
+    def test_or_kleene(self, left, right, expected):
+        expr = BinaryOp("OR", getattr(self, left), getattr(self, right))
+        assert evaluate(expr) is expected
+
+    def test_not_of_null(self):
+        assert evaluate(UnaryOp("NOT", Literal(None))) is None
+
+    def test_null_comparison_is_null(self):
+        assert evaluate(BinaryOp("=", Literal(None), Literal(None))) is None
+
+    def test_is_null(self):
+        assert evaluate(IsNull(Literal(None))) is True
+        assert evaluate(IsNull(Literal(1))) is False
+        assert evaluate(IsNull(Literal(None), negated=True)) is False
+
+    def test_in_list_with_null(self):
+        # 1 IN (2, NULL) => NULL; 1 IN (1, NULL) => TRUE
+        assert (
+            evaluate(InList(Literal(1), (Literal(2), Literal(None)))) is None
+        )
+        assert (
+            evaluate(InList(Literal(1), (Literal(1), Literal(None)))) is True
+        )
+
+    def test_between_null(self):
+        assert evaluate(Between(Literal(None), Literal(1), Literal(2))) is None
+        assert evaluate(Between(Literal(5), Literal(1), Literal(9))) is True
+
+
+class TestBuiltins:
+    def call(self, name, *args):
+        return evaluate(FuncCall(name, tuple(Literal(a) for a in args)))
+
+    def test_charindex_one_based(self):
+        assert self.call("CHARINDEX", "N", "ACGTN") == 5
+        assert self.call("CHARINDEX", "N", "ACGT") == 0
+        assert self.call("CHARINDEX", "N", None) is None
+
+    def test_substring(self):
+        assert self.call("SUBSTRING", "hello", 2, 3) == "ell"
+
+    def test_len_ignores_trailing_spaces(self):
+        assert self.call("LEN", "ab  ") == 2
+
+    def test_datalength(self):
+        assert self.call("DATALENGTH", "abc") == 3
+        assert self.call("DATALENGTH", b"\x00\x01") == 2
+        assert self.call("DATALENGTH", 5) == 4
+        assert self.call("DATALENGTH", uuid.uuid4()) == 16
+        assert self.call("DATALENGTH", None) is None
+
+    def test_isnull_and_coalesce(self):
+        assert self.call("ISNULL", None, 7) == 7
+        assert self.call("ISNULL", 1, 7) == 1
+        assert self.call("COALESCE", None, None, 3) == 3
+
+    def test_string_functions(self):
+        assert self.call("UPPER", "acgt") == "ACGT"
+        assert self.call("REVERSE", "abc") == "cba"
+        assert self.call("REPLACE", "aXa", "X", "b") == "aba"
+        assert self.call("LEFT", "hello", 2) == "he"
+        assert self.call("RIGHT", "hello", 2) == "lo"
+
+    def test_newid_distinct(self):
+        first = evaluate(FuncCall("NEWID", ()))
+        second = evaluate(FuncCall("NEWID", ()))
+        assert isinstance(first, uuid.UUID) and first != second
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            evaluate(FuncCall("NoSuchFn", ()))
+
+    def test_udf_overrides_builtin(self):
+        library = FunctionLibrary()
+        library.register_scalar("UPPER", lambda s: "overridden")
+        assert evaluate(FuncCall("UPPER", (Literal("x"),)), library=library) == (
+            "overridden"
+        )
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", False),
+            ("", "%", True),
+            ("a.b", "a.b", True),
+            ("axb", "a.b", False),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null(self):
+        assert like_match(None, "%") is None
+
+    def test_negated(self):
+        assert evaluate(Like(Literal("abc"), Literal("a%"), negated=True)) is False
+
+
+class TestCase:
+    def test_first_matching_when(self):
+        expr = Case(
+            (
+                (BinaryOp(">", col("a"), Literal(10)), Literal("big")),
+                (BinaryOp(">", col("a"), Literal(0)), Literal("small")),
+            ),
+            Literal("neg"),
+        )
+        assert evaluate(expr, (5, 0, "")) == "small"
+        assert evaluate(expr, (50, 0, "")) == "big"
+        assert evaluate(expr, (-1, 0, "")) == "neg"
+
+    def test_no_else_yields_null(self):
+        expr = Case(((Literal(False), Literal(1)),))
+        assert evaluate(expr) is None
+
+
+class TestRewrite:
+    def test_replaces_matching_nodes(self):
+        expr = BinaryOp("+", col("a"), col("b"))
+        replaced = rewrite(
+            expr,
+            lambda node: BoundRef(9) if node == col("a") else None,
+        )
+        assert replaced == BinaryOp("+", BoundRef(9), col("b"))
+
+    def test_bound_ref_compiles(self):
+        fn = compile_expr(BoundRef(2))
+        assert fn((0, 0, "hit")) == "hit"
+
+    def test_expression_to_sql_round_readable(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("=", col("a"), Literal(1)),
+            Like(col("s"), Literal("x%")),
+        )
+        text = expression_to_sql(expr)
+        assert "a = 1" in text and "LIKE" in text
+
+
+class TestBinderErrors:
+    def test_unknown_column(self):
+        def binder(ref):
+            raise BindError(f"unknown {ref.name}")
+
+        compiler = ExpressionCompiler(binder)
+        with pytest.raises(BindError):
+            compiler.compile(col("missing"))

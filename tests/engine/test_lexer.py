@@ -1,0 +1,106 @@
+"""SQL lexer."""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+
+
+def types_of(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values_of(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type == KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert values_of("ShortReadFiles") == ["ShortReadFiles"]
+        assert types_of("ShortReadFiles") == [IDENT]
+
+    def test_bracketed_identifier(self):
+        tokens = tokenize("[Read]")
+        assert tokens[0].type == IDENT and tokens[0].value == "Read"
+
+    def test_bracketed_can_contain_keywords_and_spaces(self):
+        assert values_of("[My Select Table]") == ["My Select Table"]
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("[oops")
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type == STRING and tokens[0].value == "hello"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'unclosed")
+
+    def test_numbers(self):
+        assert values_of("1 2.5 1e6 3.14e-2") == ["1", "2.5", "1e6", "3.14e-2"]
+        assert types_of("1 2.5") == [NUMBER, NUMBER]
+
+    def test_operators(self):
+        assert values_of("= <> != <= >= < > + - * / %") == [
+            "=", "<>", "<>", "<=", ">=", "<", ">", "+", "-", "*", "/", "%",
+        ]
+
+    def test_punctuation(self):
+        assert types_of("( ) , . ;") == [PUNCT] * 5
+
+    def test_at_variables(self):
+        assert values_of("@count") == ["@count"]
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type == EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ~")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values_of("SELECT -- a comment\n1") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert values_of("SELECT /* skip\nme */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("SELECT\n  name")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT\n  'oops")
+        except SqlSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

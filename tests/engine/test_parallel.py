@@ -1,0 +1,180 @@
+"""The exchange operator and the DOP simulator."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError
+from repro.engine.executor import (
+    AggregateSpec,
+    HashAggregate,
+    MaterializedResult,
+    ParallelHashAggregate,
+    ParallelMergeUda,
+    lpt_makespan,
+)
+from repro.engine.udf import UserDefinedAggregate
+
+
+def c(i):
+    return lambda row: row[i]
+
+
+def rows_op(columns, rows):
+    return MaterializedResult(columns, rows)
+
+
+class TestLptMakespan:
+    def test_single_worker_sums(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert lpt_makespan([3.0, 3.0], 2) == pytest.approx(3.0)
+
+    def test_lpt_schedules_longest_first(self):
+        # tasks 5,4,3,3,3 on 2 workers -> LPT gives max(5+3, 4+3+3)=10? no:
+        # 5 -> w1, 4 -> w2, 3 -> w2(7), 3 -> w1(8), 3 -> w2(10) => 10
+        assert lpt_makespan([5, 4, 3, 3, 3], 2) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ExecutionError):
+            lpt_makespan([1.0], 0)
+
+
+class TestParallelHashAggregate:
+    DATA = [(f"g{i % 7}", i) for i in range(500)]
+
+    def run_plan(self, op_class, **kwargs):
+        op = op_class(
+            rows_op(["g", "v"], self.DATA),
+            [c(0)],
+            ["g"],
+            [
+                AggregateSpec("count", [], star=True),
+                AggregateSpec("sum", [c(1)]),
+            ],
+            ["n", "s"],
+            **kwargs,
+        )
+        return op, sorted(op)
+
+    def test_matches_serial_hash_aggregate(self):
+        _serial_op, serial = self.run_plan(HashAggregate)
+        parallel_op, parallel = self.run_plan(ParallelHashAggregate, dop=4)
+        assert parallel == serial
+
+    def test_stats_populated(self):
+        op, result = self.run_plan(ParallelHashAggregate, dop=4)
+        stats = op.stats
+        assert stats.rows_in == 500
+        assert stats.rows_out == len(result) == 7
+        assert len(stats.partition_agg_times) == 4
+        assert stats.measured_wall > 0
+        assert stats.simulated_wall > 0
+
+    def test_simulation_never_slower_than_measured(self):
+        op, _ = self.run_plan(ParallelHashAggregate, dop=4)
+        assert op.stats.simulated_wall <= op.stats.measured_wall * 1.001
+
+    def test_dop_one_equals_serial_semantics(self):
+        op, parallel = self.run_plan(ParallelHashAggregate, dop=1)
+        _s, serial = self.run_plan(HashAggregate)
+        assert parallel == serial
+
+    def test_multi_column_group_key(self):
+        data = [(i % 2, i % 3, 1) for i in range(60)]
+        op = ParallelHashAggregate(
+            rows_op(["a", "b", "v"], data),
+            [c(0), c(1)],
+            ["a", "b"],
+            [AggregateSpec("count", [], star=True)],
+            ["n"],
+            dop=3,
+        )
+        assert sorted(op) == [
+            (a, b, 10) for a in range(2) for b in range(3)
+        ]
+
+    def test_rejects_non_parallel_safe_uda(self):
+        class Ordered(UserDefinedAggregate):
+            name = "OrderedUda"
+            parallel_safe = False
+
+            def init(self):
+                pass
+
+            def accumulate(self, value):
+                pass
+
+            def merge(self, other):
+                pass
+
+            def terminate(self):
+                return None
+
+        with pytest.raises(ExecutionError):
+            ParallelHashAggregate(
+                rows_op(["g", "v"], self.DATA),
+                [c(0)],
+                ["g"],
+                [AggregateSpec("OrderedUda", [c(1)], uda_class=Ordered)],
+                ["x"],
+                dop=4,
+            )
+
+    def test_explain_mentions_exchange(self):
+        op, _ = self.run_plan(ParallelHashAggregate, dop=4)
+        label, _kids = op.explain_node()
+        assert "Repartition Streams" in label
+        assert "Gather Streams" in label
+        assert "DOP=4" in label
+
+
+class ConcatUda(UserDefinedAggregate):
+    """Ordered concatenation (stand-in for AssembleConsensus)."""
+
+    name = "ConcatOrdered"
+    arity = 1
+    parallel_safe = False
+    requires_ordered_input = True
+
+    def init(self):
+        self.parts = []
+
+    def accumulate(self, value):
+        self.parts.append(str(value))
+
+    def merge(self, other):  # pragma: no cover
+        raise AssertionError("must not merge")
+
+    def terminate(self):
+        return "".join(self.parts)
+
+
+class TestParallelMergeUda:
+    def test_per_group_evaluation(self):
+        data = [("a", 1), ("a", 2), ("b", 3), ("c", 4), ("c", 5)]
+        op = ParallelMergeUda(
+            rows_op(["g", "v"], data),
+            [c(0)],
+            ["g"],
+            AggregateSpec("ConcatOrdered", [c(1)], uda_class=ConcatUda),
+            "joined",
+            dop=2,
+        )
+        assert list(op) == [("a", "12"), ("b", "3"), ("c", "45")]
+
+    def test_group_task_times_recorded(self):
+        data = [(f"g{i}", i) for i in range(6)]
+        op = ParallelMergeUda(
+            rows_op(["g", "v"], data),
+            [c(0)],
+            ["g"],
+            AggregateSpec("ConcatOrdered", [c(1)], uda_class=ConcatUda),
+            "joined",
+            dop=4,
+        )
+        list(op)
+        assert len(op.stats.partition_agg_times) == 6
+        assert op.stats.rows_in == 6

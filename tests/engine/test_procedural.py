@@ -1,0 +1,171 @@
+"""Interpreted (T-SQL-style) and compiled stored procedures."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import ExecutionError
+from repro.engine.expressions import BinaryOp, ColumnRef, FuncCall, Literal
+from repro.engine.procedural import (
+    Assign,
+    Break,
+    CloseCursor,
+    Declare,
+    FetchLine,
+    If,
+    InterpretedProcedure,
+    Interpreter,
+    OpenLineCursor,
+    Return,
+    While,
+)
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        yield database
+
+
+def var(name):
+    return ColumnRef(name)
+
+
+class TestInterpreter:
+    def test_declare_assign_return(self, db):
+        procedure = InterpretedProcedure(
+            "p",
+            (),
+            [
+                Declare("@x", 5),
+                Assign("@x", BinaryOp("*", var("@x"), Literal(3))),
+                Return(var("@x")),
+            ],
+        )
+        assert Interpreter(db).call(procedure) == 15
+
+    def test_while_loop(self, db):
+        procedure = InterpretedProcedure(
+            "sum_to_n",
+            ("@n",),
+            [
+                Declare("@i", 0),
+                Declare("@total", 0),
+                While(
+                    BinaryOp("<", var("@i"), var("@n")),
+                    [
+                        Assign("@i", BinaryOp("+", var("@i"), Literal(1))),
+                        Assign(
+                            "@total", BinaryOp("+", var("@total"), var("@i"))
+                        ),
+                    ],
+                ),
+                Return(var("@total")),
+            ],
+        )
+        assert Interpreter(db).call(procedure, 10) == 55
+
+    def test_if_else(self, db):
+        procedure = InterpretedProcedure(
+            "sign",
+            ("@v",),
+            [
+                Declare("@r", 0),
+                If(
+                    BinaryOp(">", var("@v"), Literal(0)),
+                    [Assign("@r", Literal(1))],
+                    [Assign("@r", Literal(-1))],
+                ),
+                Return(var("@r")),
+            ],
+        )
+        interp = Interpreter(db)
+        assert interp.call(procedure, 5) == 1
+        assert interp.call(procedure, -5) == -1
+
+    def test_break(self, db):
+        procedure = InterpretedProcedure(
+            "p",
+            (),
+            [
+                Declare("@i", 0),
+                While(
+                    Literal(True),
+                    [
+                        Assign("@i", BinaryOp("+", var("@i"), Literal(1))),
+                        If(
+                            BinaryOp(">=", var("@i"), Literal(3)),
+                            [Break()],
+                        ),
+                    ],
+                ),
+                Return(var("@i")),
+            ],
+        )
+        assert Interpreter(db).call(procedure) == 3
+
+    def test_builtin_functions_available(self, db):
+        procedure = InterpretedProcedure(
+            "p",
+            ("@s",),
+            [Return(FuncCall("SUBSTRING", (var("@s"), Literal(1), Literal(3))))],
+        )
+        assert Interpreter(db).call(procedure, "GATTACA") == "GAT"
+
+    def test_undeclared_variable(self, db):
+        procedure = InterpretedProcedure("p", (), [Return(var("@missing"))])
+        with pytest.raises(ExecutionError):
+            Interpreter(db).call(procedure)
+
+    def test_wrong_arity(self, db):
+        procedure = InterpretedProcedure("p", ("@a",), [Return(var("@a"))])
+        with pytest.raises(ExecutionError):
+            Interpreter(db).call(procedure)
+
+    def test_line_cursor_over_blob(self, db):
+        guid = db.filestream.create(b"line1\nline2\nline3\n")
+        procedure = InterpretedProcedure(
+            "count_lines",
+            ("@guid",),
+            [
+                Declare("@n", 0),
+                OpenLineCursor("c", "@guid"),
+                FetchLine("c"),
+                While(
+                    BinaryOp("=", var("c_status"), Literal(1)),
+                    [
+                        Assign("@n", BinaryOp("+", var("@n"), Literal(1))),
+                        FetchLine("c"),
+                    ],
+                ),
+                CloseCursor("c"),
+                Return(var("@n")),
+            ],
+        )
+        assert Interpreter(db).call(procedure, guid) == 3
+
+
+class TestRegistry:
+    def test_compiled_procedure(self, db):
+        db.procedures.register_compiled(
+            "double", lambda database, x: x * 2
+        )
+        assert db.call_procedure("double", 21) == 42
+
+    def test_compiled_gets_database_handle(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY); INSERT INTO t VALUES (7)")
+
+        def proc(database):
+            return database.scalar("SELECT MAX(a) FROM t")
+
+        db.procedures.register_compiled("maxval", proc)
+        assert db.call_procedure("maxval") == 7
+
+    def test_interpreted_registered_and_called(self, db):
+        db.procedures.register_interpreted(
+            InterpretedProcedure("answer", (), [Return(Literal(42))])
+        )
+        assert db.call_procedure("answer") == 42
+
+    def test_unknown_procedure(self, db):
+        with pytest.raises(ExecutionError):
+            db.call_procedure("nope")

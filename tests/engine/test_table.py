@@ -1,0 +1,259 @@
+"""Table: inserts, constraints, indexes, ordered access, FILESTREAM."""
+
+import uuid
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.errors import (
+    BindError,
+    ConstraintViolation,
+    DuplicateKeyError,
+    TypeMismatchError,
+)
+from repro.engine.filestream import FileStreamStore
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import Table
+from repro.engine.types import (
+    MAX,
+    bigint_type,
+    guid_type,
+    int_type,
+    varbinary_type,
+    varchar_type,
+)
+
+
+def plain_schema(**kwargs):
+    return TableSchema(
+        "t",
+        [
+            Column("id", int_type(), nullable=False),
+            Column("name", varchar_type(50)),
+        ],
+        primary_key=["id"],
+        **kwargs,
+    )
+
+
+class TestInsert:
+    def test_round_trip(self):
+        table = Table(plain_schema())
+        table.insert((1, "one"))
+        assert list(table.scan()) == [(1, "one")]
+
+    def test_pk_uniqueness(self):
+        table = Table(plain_schema())
+        table.insert((1, "a"))
+        with pytest.raises(DuplicateKeyError):
+            table.insert((1, "b"))
+
+    def test_not_null_enforced(self):
+        table = Table(plain_schema())
+        with pytest.raises(ConstraintViolation):
+            table.insert((None, "x"))
+
+    def test_type_checked(self):
+        table = Table(plain_schema())
+        with pytest.raises(TypeMismatchError):
+            table.insert(("not-int", "x"))
+
+    def test_wrong_arity(self):
+        table = Table(plain_schema())
+        with pytest.raises(TypeMismatchError):
+            table.insert((1,))
+
+    def test_identity_assignment(self):
+        schema = TableSchema(
+            "s",
+            [
+                Column("id", bigint_type(), nullable=False, identity=True),
+                Column("v", varchar_type(10)),
+            ],
+            primary_key=["id"],
+        )
+        table = Table(schema)
+        table.insert((None, "a"))
+        table.insert((None, "b"))
+        table.insert((10, "explicit"))
+        table.insert((None, "after"))
+        ids = [row[0] for row in table.ordered_scan()]
+        assert ids == [1, 2, 10, 11]
+
+
+class TestOrderedAccess:
+    def make_table(self):
+        schema = TableSchema(
+            "t",
+            [
+                Column("a", int_type(), nullable=False),
+                Column("b", int_type(), nullable=False),
+                Column("v", varchar_type(20)),
+            ],
+            primary_key=["a", "b"],
+        )
+        table = Table(schema)
+        for a in (3, 1, 2):
+            for b in (2, 0, 1):
+                table.insert((a, b, f"{a}-{b}"))
+        return table
+
+    def test_ordered_scan_in_key_order(self):
+        table = self.make_table()
+        keys = [(row[0], row[1]) for row in table.ordered_scan()]
+        assert keys == sorted(keys)
+        assert len(keys) == 9
+
+    def test_seek_prefix(self):
+        table = self.make_table()
+        rows = list(table.seek((2,), (2,)))
+        assert [(r[0], r[1]) for r in rows] == [(2, 0), (2, 1), (2, 2)]
+
+    def test_seek_full_key(self):
+        table = self.make_table()
+        rows = list(table.seek((2, 1), (2, 1)))
+        assert rows == [(2, 1, "2-1")]
+
+    def test_get_point_lookup(self):
+        table = self.make_table()
+        assert table.get((1, 0)) == (1, 0, "1-0")
+        assert table.get((9, 9)) is None
+
+    def test_heap_table_has_no_ordered_scan(self):
+        schema = TableSchema(
+            "h", [Column("x", int_type())], primary_key=[]
+        )
+        table = Table(schema)
+        with pytest.raises(BindError):
+            list(table.ordered_scan())
+
+
+class TestSecondaryIndex:
+    def test_index_seek(self):
+        table = Table(plain_schema())
+        for i in range(20):
+            table.insert((i, f"group{i % 3}"))
+        table.create_index("ix_name", ["name"])
+        rows = list(table.index_seek("ix_name", ("group1",), ("group1",)))
+        assert {row[0] % 3 for row in rows} == {1}
+        assert len(rows) == 7
+
+    def test_duplicate_index_name_rejected(self):
+        table = Table(plain_schema())
+        table.create_index("ix", ["name"])
+        with pytest.raises(BindError):
+            table.create_index("ix", ["name"])
+
+    def test_has_index_on(self):
+        table = Table(plain_schema())
+        assert table.has_index_on(["id"])
+        assert not table.has_index_on(["name"])
+        table.create_index("ix", ["name"])
+        assert table.has_index_on(["name"])
+
+    def test_index_maintained_on_insert(self):
+        table = Table(plain_schema())
+        table.create_index("ix", ["name"])
+        table.insert((1, "late"))
+        assert list(table.index_seek("ix", ("late",), ("late",))) == [(1, "late")]
+
+
+class TestDelete:
+    def test_delete_where(self):
+        table = Table(plain_schema())
+        for i in range(10):
+            table.insert((i, "even" if i % 2 == 0 else "odd"))
+        deleted = table.delete_where(lambda row: row[1] == "odd")
+        assert deleted == 5
+        assert all(row[1] == "even" for row in table.scan())
+        # pk index updated: re-insert works
+        table.insert((1, "back"))
+
+
+class TestFileStreamColumns:
+    def make_table(self, tmp_path):
+        store = FileStreamStore(tmp_path / "fs")
+        schema = TableSchema(
+            "ShortReadFiles",
+            [
+                Column("guid", guid_type(), nullable=False, rowguidcol=True),
+                Column("lane", int_type()),
+                Column("reads", varbinary_type(MAX, filestream=True)),
+            ],
+            primary_key=["guid"],
+        )
+        return Table(schema, filestream_store=store), store
+
+    def test_bytes_payload_stored_as_blob(self, tmp_path):
+        table, store = self.make_table(tmp_path)
+        table.insert((uuid.uuid4(), 1, b"@r1\nACGT\n+\nIIII\n"))
+        row = next(table.scan())
+        assert isinstance(row[2], uuid.UUID)
+        assert store.read_all(row[2]) == b"@r1\nACGT\n+\nIIII\n"
+        assert table.filestream_bytes() == 16
+
+    def test_existing_guid_pointer_accepted(self, tmp_path):
+        table, store = self.make_table(tmp_path)
+        guid = store.create(b"payload")
+        table.insert((uuid.uuid4(), 1, guid))
+        assert next(table.scan())[2] == guid
+
+    def test_null_blob_allowed(self, tmp_path):
+        table, _store = self.make_table(tmp_path)
+        table.insert((uuid.uuid4(), 1, None))
+        assert next(table.scan())[2] is None
+
+    def test_delete_removes_blob(self, tmp_path):
+        table, store = self.make_table(tmp_path)
+        table.insert((uuid.uuid4(), 1, b"data"))
+        guid = next(table.scan())[2]
+        table.delete_where(lambda row: True)
+        assert not store.exists(guid)
+
+    def test_failed_insert_rolls_back_blob(self, tmp_path):
+        table, store = self.make_table(tmp_path)
+        key = uuid.uuid4()
+        table.insert((key, 1, b"first"))
+        blobs_before = len(store)
+        with pytest.raises(DuplicateKeyError):
+            table.insert((key, 2, b"second"))
+        assert len(store) == blobs_before
+
+    def test_rejects_bad_payload_type(self, tmp_path):
+        table, _store = self.make_table(tmp_path)
+        with pytest.raises(ConstraintViolation):
+            table.insert((uuid.uuid4(), 1, 12345))
+
+    def test_filestream_without_store_rejected(self):
+        schema = TableSchema(
+            "x",
+            [
+                Column("guid", guid_type(), rowguidcol=True, nullable=False),
+                Column("b", varbinary_type(MAX, filestream=True)),
+            ],
+            primary_key=["guid"],
+        )
+        with pytest.raises(BindError):
+            Table(schema, filestream_store=None)
+
+
+class TestCatalog:
+    def test_create_and_lookup_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create_table(plain_schema())
+        assert catalog.table("T") is catalog.table("t")
+        assert catalog.has_table("T")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(plain_schema())
+        with pytest.raises(BindError):
+            catalog.create_table(plain_schema())
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(plain_schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(BindError):
+            catalog.drop_table("t")

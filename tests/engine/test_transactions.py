@@ -1,0 +1,122 @@
+"""Transactions: commit, rollback, FILESTREAM scope."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import TransactionError
+from repro.engine.transactions import Transaction
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        database.execute(
+            "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(20))"
+        )
+        yield database
+
+
+class TestLifecycle:
+    def test_commit_keeps_rows(self, db):
+        with Transaction(db) as txn:
+            txn.insert("t", (1, "one"))
+        assert db.query("SELECT * FROM t") == [(1, "one")]
+
+    def test_rollback_removes_rows(self, db):
+        txn = Transaction(db).begin()
+        txn.insert("t", (1, "one"))
+        txn.insert("t", (2, "two"))
+        txn.rollback()
+        assert db.query("SELECT * FROM t") == []
+
+    def test_exception_triggers_rollback(self, db):
+        with pytest.raises(RuntimeError):
+            with Transaction(db) as txn:
+                txn.insert("t", (1, "one"))
+                raise RuntimeError("boom")
+        assert db.query("SELECT * FROM t") == []
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            Transaction(db).commit()
+
+    def test_double_begin_rejected(self, db):
+        txn = Transaction(db).begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+        txn.rollback()
+
+    def test_pk_index_consistent_after_rollback(self, db):
+        txn = Transaction(db).begin()
+        txn.insert("t", (1, "one"))
+        txn.rollback()
+        # key is free again
+        db.execute("INSERT INTO t VALUES (1, 'again')")
+        assert db.query("SELECT b FROM t WHERE a = 1") == [("again",)]
+
+
+class TestDeleteUndo:
+    def test_rollback_restores_deleted_rows(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'keep'), (2, 'gone')")
+        txn = Transaction(db).begin()
+        deleted = txn.delete_where("t", lambda row: row[0] == 2)
+        assert deleted == 1
+        txn.rollback()
+        assert sorted(db.query("SELECT * FROM t")) == [(1, "keep"), (2, "gone")]
+
+    def test_commit_finalises_delete(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        with Transaction(db) as txn:
+            txn.delete_where("t", lambda row: True)
+        assert db.query("SELECT * FROM t") == []
+
+
+class TestFileStreamScope:
+    def make_fs_table(self, db):
+        db.execute(
+            """
+            CREATE TABLE files (
+                guid uniqueidentifier ROWGUIDCOL PRIMARY KEY,
+                lane INT,
+                payload VARBINARY(MAX) FILESTREAM
+            )
+            """
+        )
+
+    def test_rollback_removes_blob_files(self, db):
+        self.make_fs_table(db)
+        import uuid
+
+        blobs_before = len(db.filestream)
+        txn = Transaction(db).begin()
+        txn.insert("files", (uuid.uuid4(), 1, b"lane payload"))
+        assert len(db.filestream) == blobs_before + 1
+        txn.rollback()
+        assert len(db.filestream) == blobs_before
+        assert db.query("SELECT * FROM files") == []
+        assert db.checkdb() == []
+
+    def test_explicit_blob_rolled_back(self, db):
+        txn = Transaction(db).begin()
+        guid = txn.create_blob(b"temporary")
+        assert db.filestream.exists(guid)
+        txn.rollback()
+        assert not db.filestream.exists(guid)
+
+    def test_committed_blob_survives(self, db):
+        with Transaction(db) as txn:
+            guid = txn.create_blob(b"kept")
+        assert db.filestream.read_all(guid) == b"kept"
+
+    def test_delete_of_blob_row_restores_payload_on_rollback(self, db):
+        self.make_fs_table(db)
+        import uuid
+
+        db.table("files").insert((uuid.uuid4(), 7, b"precious"))
+        txn = Transaction(db).begin()
+        txn.delete_where("files", lambda row: row[1] == 7)
+        assert db.query("SELECT * FROM files") == []
+        txn.rollback()
+        rows = db.query("SELECT lane, DATALENGTH(payload) FROM files")
+        assert rows == [(7, 8)]
+        assert db.checkdb() == []

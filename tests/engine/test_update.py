@@ -1,0 +1,92 @@
+"""UPDATE statement semantics."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import BindError, DuplicateKeyError
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        database.execute(
+            """
+            CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(10), n INT);
+            INSERT INTO t VALUES
+                (1, 'a', 10), (2, 'a', 20), (3, 'b', 30), (4, 'b', 40);
+            """
+        )
+        yield database
+
+
+class TestUpdate:
+    def test_single_column(self, db):
+        assert db.execute("UPDATE t SET n = 99 WHERE id = 2") == 1
+        assert db.scalar("SELECT n FROM t WHERE id = 2") == 99
+
+    def test_multi_column(self, db):
+        db.execute("UPDATE t SET grp = 'z', n = 0 WHERE id = 1")
+        assert db.query("SELECT grp, n FROM t WHERE id = 1") == [("z", 0)]
+
+    def test_expression_rhs_sees_old_row(self, db):
+        db.execute("UPDATE t SET n = n + 1")
+        assert sorted(db.query("SELECT n FROM t")) == [
+            (11,), (21,), (31,), (41,)
+        ]
+
+    def test_no_where_updates_all(self, db):
+        assert db.execute("UPDATE t SET grp = 'all'") == 4
+
+    def test_no_match_updates_nothing(self, db):
+        assert db.execute("UPDATE t SET n = 0 WHERE id = 99") == 0
+
+    def test_swap_within_updated_set(self, db):
+        """Key changes inside the updated set must not self-collide."""
+        db.execute("UPDATE t SET id = id + 10 WHERE grp = 'a'")
+        ids = sorted(row[0] for row in db.query("SELECT id FROM t"))
+        assert ids == [3, 4, 11, 12]
+        # pk index consistent after the shuffle
+        assert db.query("SELECT n FROM t WHERE id = 11") == [(10,)]
+
+    def test_pk_collision_with_untouched_row_rolls_back(self, db):
+        with pytest.raises(DuplicateKeyError):
+            db.execute("UPDATE t SET id = 3 WHERE id = 1")
+        # the table is unchanged
+        assert sorted(db.query("SELECT id, n FROM t")) == [
+            (1, 10), (2, 20), (3, 30), (4, 40)
+        ]
+
+    def test_case_expression_in_set(self, db):
+        db.execute(
+            "UPDATE t SET n = CASE WHEN n > 25 THEN 1 ELSE 0 END"
+        )
+        assert sorted(db.query("SELECT id, n FROM t")) == [
+            (1, 0), (2, 0), (3, 1), (4, 1)
+        ]
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute("UPDATE t SET nope = 1")
+
+    def test_filestream_table_rejected(self, db):
+        db.execute(
+            """
+            CREATE TABLE f (
+                guid uniqueidentifier ROWGUIDCOL PRIMARY KEY,
+                payload VARBINARY(MAX) FILESTREAM
+            )
+            """
+        )
+        import uuid
+
+        db.table("f").insert((uuid.uuid4(), b"blob"))
+        with pytest.raises(BindError):
+            db.execute("UPDATE f SET guid = NEWID()")
+
+    def test_update_respects_type_validation(self, db):
+        from repro.engine.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            db.execute("UPDATE t SET n = 'not a number' WHERE id = 1")
+        # rollback left data intact
+        assert db.scalar("SELECT n FROM t WHERE id = 1") == 10

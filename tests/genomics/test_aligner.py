@@ -1,0 +1,127 @@
+"""Seed-hash aligner: exactness, strands, mismatch handling, mapq."""
+
+import pytest
+
+from repro.genomics.aligner import AlignmentError, ReferenceIndex, ShortReadAligner
+from repro.genomics.fasta import FastaRecord
+from repro.genomics.fastq import FastqRecord
+from repro.genomics.sequences import reverse_complement
+
+REF_SEQ = (
+    "TTCAGGACCTACGGATTCAATGCCTTGAAGCGCATCGTAGCTAGCTTGCAAGGTTCCAGT"
+    "ACCGTTAAGCGGATCCTTAGCAACGGTGCTTAAACCCGGGTTTACAGATCGATCGGGCTA"
+)
+
+
+@pytest.fixture(scope="module")
+def small_aligner():
+    return ShortReadAligner(
+        [FastaRecord("chrT", REF_SEQ)], seed_length=8, max_mismatches=2
+    )
+
+
+def read_at(position, length=36, mutate=()):
+    seq = list(REF_SEQ[position : position + length])
+    for offset, base in mutate:
+        seq[offset] = base
+    return FastqRecord("test_read", "".join(seq), "I" * length)
+
+
+class TestIndex:
+    def test_indexes_all_kmers(self):
+        index = ReferenceIndex([FastaRecord("c", "ACGTACGT")], seed_length=4)
+        assert len(index) == len({"ACGT", "CGTA", "GTAC", "TACG"})
+        assert ("c", 0) in index.lookup("ACGT")
+        assert ("c", 4) in index.lookup("ACGT")
+
+    def test_unknown_seed_empty(self):
+        index = ReferenceIndex([FastaRecord("c", "AAAA")], seed_length=4)
+        assert index.lookup("CCCC") == []
+
+    def test_bad_seed_length(self):
+        with pytest.raises(AlignmentError):
+            ReferenceIndex([FastaRecord("c", "ACGT")], seed_length=2)
+
+
+class TestExactAlignment:
+    def test_forward_exact(self, small_aligner):
+        hit = small_aligner.align(read_at(10))
+        assert hit is not None
+        assert (hit.reference, hit.position, hit.strand) == ("chrT", 10, "+")
+        assert hit.mismatches == 0
+
+    def test_reverse_strand(self, small_aligner):
+        fragment = REF_SEQ[20:56]
+        record = FastqRecord("rc", reverse_complement(fragment), "I" * 36)
+        hit = small_aligner.align(record)
+        assert hit is not None
+        assert (hit.position, hit.strand) == (20, "-")
+        assert hit.mismatches == 0
+
+    def test_every_offset_alignable(self, small_aligner):
+        for position in range(0, len(REF_SEQ) - 36, 7):
+            hit = small_aligner.align(read_at(position))
+            assert hit is not None and hit.position == position
+
+    def test_foreign_sequence_unaligned(self, small_aligner):
+        record = FastqRecord("junk", "A" * 36, "I" * 36)
+        assert small_aligner.align(record) is None
+
+
+class TestMismatches:
+    def test_one_mismatch_found(self, small_aligner):
+        hit = small_aligner.align(read_at(10, mutate=[(30, "A"), ]))
+        # position 40 in ref is 'G'? regardless: one substitution somewhere
+        if REF_SEQ[40] == "A":  # mutation was a no-op; pick another base
+            hit = small_aligner.align(read_at(10, mutate=[(30, "C")]))
+        assert hit is not None
+        assert hit.position == 10
+        assert hit.mismatches <= 1
+
+    def test_two_mismatches_found(self, small_aligner):
+        base1 = "A" if REF_SEQ[12] != "A" else "C"
+        base2 = "A" if REF_SEQ[43] != "A" else "C"
+        hit = small_aligner.align(read_at(10, mutate=[(2, base1), (33, base2)]))
+        assert hit is not None and hit.position == 10
+
+    def test_three_mismatches_rejected(self, small_aligner):
+        mutations = []
+        for offset in (2, 15, 33):
+            original = REF_SEQ[10 + offset]
+            mutations.append((offset, "A" if original != "A" else "C"))
+        assert small_aligner.align(read_at(10, mutate=mutations)) is None
+
+    def test_n_bases_count_as_mismatches(self, small_aligner):
+        hit = small_aligner.align(read_at(10, mutate=[(20, "N")]))
+        assert hit is not None and hit.mismatches == 1
+        triple_n = read_at(10, mutate=[(5, "N"), (20, "N"), (30, "N")])
+        assert small_aligner.align(triple_n) is None
+
+
+class TestMappingQuality:
+    def test_unique_exact_hit_high_mapq(self, small_aligner):
+        hit = small_aligner.align(read_at(3))
+        assert hit.mapping_quality >= 25
+
+    def test_repeat_placement_zero_mapq(self):
+        repeat = "ATCGGCTAAGCTTGCGATCCGTTAGCAAGCTGGATC"
+        genome = "TTTT" + repeat + "CCCC" + repeat + "GGGG"
+        aligner = ShortReadAligner(
+            [FastaRecord("rep", genome)], seed_length=8
+        )
+        record = FastqRecord("r", repeat, "I" * len(repeat))
+        hit = aligner.align(record)
+        assert hit is not None
+        assert hit.mapping_quality == 0
+
+
+class TestAlignAll:
+    def test_pairs_reads_with_hits(self, small_aligner):
+        reads = [read_at(0), FastqRecord("junk", "A" * 36, "I" * 36)]
+        results = list(small_aligner.align_all(reads))
+        assert results[0][1] is not None
+        assert results[1][1] is None
+
+    def test_read_shorter_than_seed_rejected(self, small_aligner):
+        with pytest.raises(AlignmentError):
+            small_aligner.align(FastqRecord("tiny", "ACG", "III"))

@@ -1,0 +1,191 @@
+"""Consensus calling: base calls, pileup vs sliding window, ordering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.consensus import (
+    ConsensusError,
+    Pileup,
+    SlidingWindowConsensus,
+    call_base,
+    consensus_by_chromosome,
+)
+
+
+class TestCallBase:
+    def test_unanimous(self):
+        assert call_base([("A", 30), ("A", 20)]) == ("A", 50)
+
+    def test_majority_by_quality(self):
+        base, quality = call_base([("A", 40), ("C", 10), ("C", 10)])
+        assert base == "A" and quality == 20
+
+    def test_quality_outvotes_count(self):
+        base, _q = call_base([("A", 60), ("C", 10), ("C", 10), ("C", 10)])
+        assert base == "A"
+
+    def test_tie_breaks_lexicographically(self):
+        base, quality = call_base([("T", 20), ("G", 20)])
+        assert base == "G" and quality == 0
+
+    def test_n_observations_ignored(self):
+        assert call_base([("N", 40), ("C", 10)]) == ("C", 10)
+
+    def test_no_usable_evidence(self):
+        assert call_base([]) == ("N", 0)
+        assert call_base([("N", 40)]) == ("N", 0)
+
+    def test_quality_capped(self):
+        base, quality = call_base([("A", 90), ("A", 90), ("A", 90)])
+        assert quality <= 93
+
+
+def apply_alignments(consumer, alignments):
+    for pos, seq, quals in alignments:
+        consumer.add_alignment(pos, seq, quals)
+
+
+class TestPileup:
+    def test_simple_overlap(self):
+        pileup = Pileup("chr", 10)
+        pileup.add_alignment(0, "ACGT", [30] * 4)
+        pileup.add_alignment(2, "GTAA", [30] * 4)
+        result = pileup.call()
+        assert result.sequence == "ACGTAANNNN"
+        assert result.covered_positions == 6
+        assert result.total_observations == 8
+
+    def test_disagreement_resolved_by_quality(self):
+        pileup = Pileup("chr", 4)
+        pileup.add_alignment(0, "AAAA", [10] * 4)
+        pileup.add_alignment(0, "CCCC", [40] * 4)
+        assert pileup.call().sequence == "CCCC"
+
+    def test_out_of_bounds_clipped(self):
+        pileup = Pileup("chr", 5)
+        pileup.add_alignment(3, "ACGT", [30] * 4)
+        result = pileup.call()
+        assert result.sequence == "NNNAC"
+
+    def test_observation_count_tracks_pivot_size(self):
+        pileup = Pileup("chr", 100)
+        for i in range(10):
+            pileup.add_alignment(i, "ACGT", [30] * 4)
+        assert pileup.observation_count() == 40
+
+    def test_length_mismatch_rejected(self):
+        pileup = Pileup("chr", 10)
+        with pytest.raises(ConsensusError):
+            pileup.add_alignment(0, "ACGT", [30])
+
+
+class TestSlidingWindow:
+    def test_matches_pileup_simple(self):
+        alignments = [(0, "ACGT", [30] * 4), (2, "GTAA", [30] * 4)]
+        pileup = Pileup("chr", 10)
+        window = SlidingWindowConsensus("chr", 10)
+        apply_alignments(pileup, alignments)
+        apply_alignments(window, alignments)
+        assert window.finish().sequence == pileup.call().sequence
+
+    def test_unordered_input_rejected(self):
+        window = SlidingWindowConsensus("chr", 10)
+        window.add_alignment(5, "AC", [30, 30])
+        with pytest.raises(ConsensusError):
+            window.add_alignment(3, "AC", [30, 30])
+
+    def test_window_stays_small(self):
+        window = SlidingWindowConsensus("chr", 10_000)
+        for pos in range(0, 9_000, 10):
+            window.add_alignment(pos, "ACGTACGTACGTACGTACGT", [30] * 20)
+        assert window.peak_window <= 40  # vs 10k positions materialised
+        window.finish()
+
+    def test_gap_between_alignments_uncovered(self):
+        window = SlidingWindowConsensus("chr", 20)
+        window.add_alignment(0, "AAAA", [30] * 4)
+        window.add_alignment(10, "CCCC", [30] * 4)
+        result = window.finish()
+        assert result.sequence == "AAAA" + "N" * 6 + "CCCC" + "N" * 6
+
+    def test_unbounded_mode_starts_at_first_alignment(self):
+        window = SlidingWindowConsensus("chr", length=None)
+        window.add_alignment(100, "ACGT", [30] * 4)
+        window.add_alignment(102, "GTTT", [30] * 4)
+        result = window.finish()
+        assert result.start == 100
+        assert result.sequence == "ACGTTT"
+
+    def test_unbounded_empty(self):
+        window = SlidingWindowConsensus("chr", length=None)
+        result = window.finish()
+        assert result.sequence == "" and result.start == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 80),
+                st.text(alphabet="ACGT", min_size=1, max_size=12),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_equivalence_with_pileup_property(self, raw):
+        """The streaming algorithm must produce exactly the pivot-based
+        result for any ordered alignment set."""
+        alignments = sorted(
+            (pos, seq, [25] * len(seq)) for pos, seq in raw
+        )
+        length = 100
+        pileup = Pileup("chr", length)
+        window = SlidingWindowConsensus("chr", length)
+        apply_alignments(pileup, alignments)
+        apply_alignments(window, alignments)
+        expected = pileup.call()
+        actual = window.finish()
+        assert actual.sequence == expected.sequence
+        assert actual.covered_positions == expected.covered_positions
+        assert actual.total_observations == expected.total_observations
+
+
+class TestDriver:
+    def test_consensus_by_chromosome(self):
+        results = consensus_by_chromosome(
+            [
+                ("chr1", 0, "AAAA", [30] * 4),
+                ("chr1", 2, "AATT", [30] * 4),
+                ("chr2", 1, "GGGG", [30] * 4),
+            ],
+            {"chr1": 8, "chr2": 6},
+        )
+        assert results["chr1"].sequence.startswith("AAAA")
+        assert results["chr2"].sequence == "NGGGGN"
+
+    def test_unknown_chromosome_rejected(self):
+        with pytest.raises(ConsensusError):
+            consensus_by_chromosome(
+                [("mystery", 0, "A", [1])], {"chr1": 10}
+            )
+
+
+class TestReconstruction:
+    def test_recovers_reference_from_clean_reads(self):
+        """High-coverage error-free reads must reconstruct the genome."""
+        rng = random.Random(42)
+        genome = "".join(rng.choices("ACGT", k=400))
+        alignments = []
+        for _ in range(300):
+            pos = rng.randrange(0, len(genome) - 30)
+            alignments.append((pos, genome[pos : pos + 30], [35] * 30))
+        alignments.sort()
+        window = SlidingWindowConsensus("g", len(genome))
+        apply_alignments(window, alignments)
+        result = window.finish()
+        matches = sum(
+            1 for a, b in zip(result.sequence, genome) if a == b
+        )
+        assert matches / len(genome) > 0.97  # only coverage gaps miss

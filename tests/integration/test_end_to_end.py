@@ -1,0 +1,177 @@
+"""Full-pipeline integration: both paper scenarios, hybrid storage,
+and cross-checks between the database path and the file-centric path."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import FileCentricStore, MaqTool, run_binning_script
+from repro.core import GenomicsWarehouse, SequencingWorkflow, queries
+from repro.genomics.fasta import write_fasta
+from repro.genomics.fastq import write_fastq
+from repro.genomics.maqmap import read_text_map
+
+
+class TestDgeScenario:
+    """Example 2 of the paper: digital gene expression end to end."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, reference, genes, dge_reads):
+        wh = GenomicsWarehouse()
+        wh.load_reference(reference)
+        wh.load_genes(genes)
+        wh.register_experiment(1, "dge study", "dge")
+        wh.register_sample_group(1, 1, "healthy")
+        wh.register_sample(1, 1, 1, "cells")
+        workflow = SequencingWorkflow(wh)
+        counts = workflow.run_all(1, 1, 1, dge_reads, kind="dge", hybrid=True)
+        yield wh, workflow, counts
+        wh.close()
+
+    def test_counts_consistent(self, pipeline, dge_reads):
+        _wh, _workflow, counts = pipeline
+        assert counts["reads"] == len(dge_reads)
+        assert 0 < counts["alignments"] <= counts["reads"]
+        assert 0 < counts["tertiary"]
+
+    def test_sql_binning_equals_perl_script(
+        self, pipeline, dge_reads, tmp_path_factory
+    ):
+        """Section 5.3.2's equivalence: same 565,526-unique-read style
+        result from the script and from Query 1."""
+        tmp = tmp_path_factory.mktemp("script")
+        path = tmp / "lane.fastq"
+        write_fastq(dge_reads, path)
+        script_ranked, _trace = run_binning_script(path)
+        wh, _workflow, _counts = pipeline
+        sql_ranked = queries.execute_query1(wh.db, 1, 1, 1)
+        script_map = {seq: count for _r, count, seq in script_ranked}
+        sql_map = {seq: count for _r, count, seq in sql_ranked}
+        assert script_map == sql_map
+
+    def test_expression_totals_conserve_tag_frequencies(self, pipeline):
+        wh, _workflow, _counts = pipeline
+        expressed_total = wh.db.scalar(
+            "SELECT SUM(total_freq) FROM GeneExpression"
+        )
+        aligned_tag_freq = wh.db.scalar(
+            """
+            SELECT SUM(t_frequency) FROM Tag
+            JOIN Alignment ON (t_e_id = a_e_id AND t_sg_id = a_sg_id
+                               AND t_s_id = a_s_id AND t_id = a_t_id)
+            WHERE a_g_id IS NOT NULL
+            """
+        )
+        assert expressed_total == aligned_tag_freq
+
+    def test_top_expressed_gene_is_zipf_head(self, pipeline, genes):
+        wh, _workflow, _counts = pipeline
+        top = wh.db.query(
+            "SELECT TOP 1 ge_g_id, total_freq FROM GeneExpression "
+            "ORDER BY total_freq DESC"
+        )[0]
+        total_reads = wh.db.scalar("SELECT COUNT(*) FROM [Read]")
+        assert top[1] > total_reads * 0.05
+
+    def test_provenance_complete(self, pipeline):
+        _wh, workflow, _counts = pipeline
+        events = workflow.provenance(1, 1, 1)
+        assert len(events) == 4
+
+
+class TestReseqScenario:
+    """Example 1 of the paper: re-sequencing + consensus calling."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, reference, reseq_reads):
+        wh = GenomicsWarehouse()
+        wh.load_reference(reference)
+        wh.register_experiment(1, "1000 genomes", "resequencing")
+        wh.register_sample_group(1, 1, "individual")
+        wh.register_sample(1, 1, 1, "NA12878")
+        workflow = SequencingWorkflow(wh)
+        counts = workflow.run_all(
+            1, 1, 1, reseq_reads, kind="resequencing", hybrid=True
+        )
+        yield wh, workflow, counts
+        wh.close()
+
+    def test_alignment_rate_high(self, pipeline, reseq_reads):
+        _wh, _workflow, counts = pipeline
+        assert counts["alignments"] > len(reseq_reads) * 0.9
+
+    def test_consensus_agrees_with_genome(self, pipeline, reference):
+        wh, _workflow, _counts = pipeline
+        rows = wh.db.query(
+            "SELECT c_rs_id, c_start, c_seq FROM Consensus"
+        )
+        by_name = {r.name: r.sequence for r in reference}
+        id_to_name = {v: k for k, v in wh.reference_names.items()}
+        for rs_id, start, seq in rows:
+            genome = by_name[id_to_name[rs_id]]
+            called = [
+                (a, b)
+                for a, b in zip(seq, genome[start : start + len(seq)])
+                if a != "N"
+            ]
+            agree = sum(1 for a, b in called if a == b)
+            assert agree / len(called) > 0.97
+
+    def test_db_alignments_match_maq_tool(
+        self, pipeline, reference, reseq_reads, tmp_path_factory
+    ):
+        """The in-database path and the file-centric MAQ pipeline must
+        place reads identically (same aligner, different data management)."""
+        tmp = tmp_path_factory.mktemp("maq")
+        fasta, fastq = tmp / "ref.fasta", tmp / "lane.fastq"
+        write_fasta(reference, fasta)
+        write_fastq(reseq_reads[:200], fastq)
+        tool = MaqTool(tmp / "work")
+        artifacts = tool.pipeline(fastq, fasta)
+        file_hits = {
+            a.read_name: (a.reference, a.position, a.strand)
+            for a in read_text_map(artifacts["mapview"])
+        }
+        wh, _workflow, _counts = pipeline
+        name_by_rid = {
+            row[3]: row for row in wh.db.table("Read").scan()
+        }
+        id_to_name = {v: k for k, v in wh.reference_names.items()}
+        db_hits = {}
+        for row in wh.db.table("Alignment").scan():
+            r_id = row[4]
+            read_row = name_by_rid[r_id]
+            # reconstruct the original read name from its components
+            name = f"IL4_855:{read_row[4]}:{read_row[5]}:{read_row[6]}:{read_row[7]}"
+            db_hits[name] = (id_to_name[row[6]], row[8], row[9])
+        checked = 0
+        for name, placement in file_hits.items():
+            if name in db_hits:
+                assert db_hits[name] == placement
+                checked += 1
+        assert checked > 150
+
+
+class TestHybridRoundTrip:
+    def test_filestream_lane_is_byte_identical_to_file(
+        self, reference, dge_reads, tmp_path
+    ):
+        """The hybrid promise: FILESTREAM keeps the payload byte-identical,
+        so external tools can keep working on the 'file'."""
+        store = FileCentricStore(tmp_path)
+        file_path = store.store_lane_fastq(855, 1, dge_reads[:200])
+        wh = GenomicsWarehouse()
+        try:
+            wh.load_reference(reference)
+            guid = wh.import_lane_hybrid(855, 1, dge_reads[:200])
+            blob_bytes = wh.db.filestream.read_all(guid)
+            assert blob_bytes == file_path.read_bytes()
+            # an external tool can open the managed path directly
+            managed = wh.db.query(
+                "SELECT reads.PathName() FROM ShortReadFiles"
+            )[0][0]
+            from pathlib import Path
+
+            assert Path(managed).read_bytes() == blob_bytes
+        finally:
+            wh.close()
