@@ -40,6 +40,7 @@ def test_figure9_query1_plan(benchmark, dge_warehouse):
     assert "Gather Streams" in plan
     assert "ROW_NUMBER" in plan
     assert "Clustered Index Seek [Read]" in plan
+    assert "est. rows=" in plan and "cost=" in plan
 
 
 def test_figure10_query3_plan(benchmark, reseq_warehouse, reference, reseq_reads):
@@ -82,6 +83,7 @@ def test_figure10_query3_plan(benchmark, reseq_warehouse, reference, reseq_reads
     assert "Stream Aggregate" in position_plan
     assert "Sort" not in position_plan
     assert "Merge Join" in merge_plan
+    assert "est. rows=" in merge_plan and "cost=" in merge_plan
 
 
 def test_bench_planning_cost(benchmark, reseq_warehouse):
@@ -89,3 +91,31 @@ def test_bench_planning_cost(benchmark, reseq_warehouse):
     sql = queries.query3_sliding_window_sql(1, 1, 1)
     plan = benchmark(reseq_warehouse.db.plan, sql)
     assert plan is not None
+
+
+def _walk_ops(op):
+    yield op
+    for child in op.children():
+        yield from _walk_ops(child)
+
+
+def test_estimates_track_actuals(reseq_warehouse):
+    """Estimate quality: with fresh statistics, the access-path estimates
+    of Query 3's plan stay within 4x of the actual row counts that
+    EXPLAIN ANALYZE observes."""
+    db = reseq_warehouse.db
+    db.execute("UPDATE STATISTICS Alignment")
+    db.execute("UPDATE STATISTICS [Read]")
+    op = db.plan(queries.query3_sliding_window_sql(1, 1, 1))
+    for _ in op:
+        pass
+    assert "actual rows=" in op.explain(analyze=True)
+    checked = 0
+    for node in _walk_ops(op):
+        if list(node.children()) or node.est_rows is None:
+            continue  # drift is judged at the leaves (access paths)
+        est, actual = node.est_rows, node.rows_out
+        assert est <= max(actual, 1) * 4, (node, est, actual)
+        assert actual <= max(est, 1) * 4, (node, est, actual)
+        checked += 1
+    assert checked > 0

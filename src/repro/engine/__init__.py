@@ -18,7 +18,7 @@ from .errors import (
 )
 from .filestream import FileStreamStore
 from .schema import Column, ForeignKey, TableSchema
-from .statistics import register_statistics
+from .uda_library import register_statistics
 from .transactions import Transaction
 from .types import SqlType, UdtCodec
 from .udf import (

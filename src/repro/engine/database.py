@@ -197,10 +197,20 @@ class Database:
             raise EngineError("explain() takes exactly one statement")
         stmt = statements[0]
         if isinstance(stmt, ast.ExplainStmt):
+            if stmt.analyze:
+                return self._explain_analyze(stmt.select)
             stmt = stmt.select
         if not isinstance(stmt, ast.SelectStmt):
             raise EngineError("explain() requires a SELECT statement")
         return self._planner.explain_select(stmt)
+
+    def _explain_analyze(self, select: ast.SelectStmt) -> str:
+        """EXPLAIN ANALYZE: execute the plan to completion, then render
+        it with estimated *and* actual row counts per operator."""
+        op = self._planner.plan_select(select)
+        for _ in op:
+            pass
+        return op.explain(analyze=True)
 
     def plan(self, sql: str) -> PhysicalOperator:
         """Return the physical operator tree for a SELECT (not executed)."""
@@ -216,7 +226,12 @@ class Database:
             columns = [c.rsplit(".", 1)[-1] for c in op.columns]
             return MaterializedResult(columns, list(op))
         if isinstance(stmt, ast.ExplainStmt):
+            if stmt.analyze:
+                return self._explain_analyze(stmt.select)
             return self._planner.explain_select(stmt.select)
+        if isinstance(stmt, ast.UpdateStatisticsStmt):
+            self.analyze_table(stmt.table)
+            return 0
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt)
         if isinstance(stmt, ast.DeleteStmt):
@@ -440,6 +455,11 @@ class Database:
         return guid
 
     # -- administration --------------------------------------------------------------------------
+
+    def analyze_table(self, name: str):
+        """Collect optimizer statistics for one table (the implementation
+        behind ``UPDATE STATISTICS`` / ``ANALYZE``)."""
+        return self.catalog.table(name).analyze()
 
     def storage_report(self) -> List[dict]:
         """Per-table storage statistics (the raw material of Tables 1/2)."""

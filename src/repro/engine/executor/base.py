@@ -30,6 +30,10 @@ class PhysicalOperator:
     #: operators that must consume their entire input before producing
     #: the first output row (sorts, hash builds) mark themselves blocking
     blocking: bool = False
+    #: cardinality / cost estimates filled in by the cost model; None
+    #: until the planner annotates the tree
+    est_rows = None
+    est_cost = None
 
     def __init__(self):
         self.rows_out = 0
@@ -52,16 +56,27 @@ class PhysicalOperator:
     def children(self) -> Sequence["PhysicalOperator"]:
         return ()
 
-    def explain(self, indent: int = 0) -> str:
-        """Render this subtree as an indented text plan."""
+    def explain(self, indent: int = 0, analyze: bool = False) -> str:
+        """Render this subtree as an indented text plan.
+
+        With ``analyze=True`` (EXPLAIN ANALYZE, after execution) each
+        node also reports the actual row count it produced."""
         label, kids = self.explain_node()
         prefix = "  " * indent
         label_lines = label.split("\n")
-        lines = [prefix + "-> " + label_lines[0]]
+        first = label_lines[0]
+        if self.est_rows is not None:
+            details = [f"est. rows={self.est_rows}"]
+            if analyze:
+                details.append(f"actual rows={self.rows_out}")
+            if self.est_cost is not None:
+                details.append(f"cost={self.est_cost:.1f}")
+            first += f"  ({', '.join(details)})"
+        lines = [prefix + "-> " + first]
         for continuation in label_lines[1:]:
             lines.append(prefix + "   " + continuation.strip())
         for kid in kids:
-            lines.append(kid.explain(indent + 1))
+            lines.append(kid.explain(indent + 1, analyze=analyze))
         return "\n".join(lines)
 
     # -- helpers ------------------------------------------------------------------

@@ -25,33 +25,95 @@ def _qualify(alias: Optional[str], names: Sequence[str]) -> List[str]:
 
 
 class TableScan(PhysicalOperator):
-    """Heap scan in physical order."""
+    """Heap scan in physical order.
 
-    def __init__(self, table: Table, alias: Optional[str] = None):
+    ``projection`` (a sequence of schema column names) narrows the scan
+    output to those columns — projection pruning's way of avoiding the
+    materialisation of never-referenced columns.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: Optional[str] = None,
+        projection: Optional[Sequence[str]] = None,
+    ):
         super().__init__()
         self.table = table
         self.alias = alias or table.schema.name
-        self.columns = _qualify(self.alias, table.schema.column_names)
+        names = list(table.schema.column_names)
+        if projection is not None:
+            self.projection: Optional[Tuple[int, ...]] = tuple(
+                table.schema.column_index(c) for c in projection
+            )
+            names = [names[i] for i in self.projection]
+        else:
+            self.projection = None
+        self.columns = _qualify(self.alias, names)
 
     def execute(self):
-        return self.table.scan()
+        if self.projection is None:
+            return self.table.scan()
+        positions = self.projection
+        return (
+            tuple(row[i] for i in positions) for row in self.table.scan()
+        )
 
     def explain_node(self):
-        return f"Table Scan [{self.table.schema.name}]", ()
+        suffix = ""
+        if self.projection is not None:
+            names = [
+                self.table.schema.column_names[i] for i in self.projection
+            ]
+            suffix = f" (cols: {', '.join(names)})"
+        return f"Table Scan [{self.table.schema.name}]{suffix}", ()
 
 
 class ClusteredIndexScan(PhysicalOperator):
-    """Full scan in clustered-key order (feeds merge joins / stream aggs)."""
+    """Full scan in clustered-key order (feeds merge joins / stream aggs).
 
-    def __init__(self, table: Table, alias: Optional[str] = None):
+    Supports the same ``projection`` narrowing as :class:`TableScan`;
+    the advertised ordering is remapped to output positions and stops at
+    the first clustered-key column the projection drops.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: Optional[str] = None,
+        projection: Optional[Sequence[str]] = None,
+    ):
         super().__init__()
         self.table = table
         self.alias = alias or table.schema.name
-        self.columns = _qualify(self.alias, table.schema.column_names)
-        self.ordering = tuple(table.schema.key_indexes)
+        names = list(table.schema.column_names)
+        if projection is not None:
+            self.projection: Optional[Tuple[int, ...]] = tuple(
+                table.schema.column_index(c) for c in projection
+            )
+            names = [names[i] for i in self.projection]
+            output_position = {
+                schema_pos: i for i, schema_pos in enumerate(self.projection)
+            }
+            ordering = []
+            for key_pos in table.schema.key_indexes:
+                if key_pos not in output_position:
+                    break
+                ordering.append(output_position[key_pos])
+            self.ordering = tuple(ordering)
+        else:
+            self.projection = None
+            self.ordering = tuple(table.schema.key_indexes)
+        self.columns = _qualify(self.alias, names)
 
     def execute(self):
-        return self.table.ordered_scan()
+        if self.projection is None:
+            return self.table.ordered_scan()
+        positions = self.projection
+        return (
+            tuple(row[i] for i in positions)
+            for row in self.table.ordered_scan()
+        )
 
     def explain_node(self):
         key = ", ".join(self.table.schema.primary_key)

@@ -1,0 +1,432 @@
+"""The cost model: cardinality estimation + operator pricing.
+
+Every physical alternative the planner weighs is priced in abstract
+"row units" from the same table statistics ``UPDATE STATISTICS``
+collects (:mod:`.statistics`):
+
+- **access paths** — a heap scan pays one unit per stored row plus a
+  predicate-evaluation surcharge; a clustered seek pays a B-tree
+  descend plus one (slightly cheaper, sequential-leaf) unit per
+  qualifying row; a secondary-index seek additionally pays a bookmark
+  lookup per row, which is what prices it out once the predicate stops
+  being selective;
+- **joins** — merge pays per input row, hash pays a build surcharge on
+  the inner side; with both inputs pre-ordered merge always prices
+  cheaper, matching SQL Server's preference for pre-sorted inputs;
+- **aggregation** — the parallel exchange plan pays a fixed startup
+  cost (thread creation + repartition buffers) that serial plans avoid;
+  the crossover where the exchange pays for itself::
+
+      startup / (agg_row * (1 - 1/dop) - repartition_row)
+
+  which at the defaults (dop=4) lands at 50 000 input rows — the
+  threshold earlier versions hard-coded is now *derived*.
+
+Estimates are advisory: a missing statistic degrades to the default
+selectivities in :mod:`.statistics`, never to an error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+)
+from .statistics import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_LIKE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    DEFAULT_SELECTIVITY,
+    TableStats,
+)
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _column_comparison(
+    conjunct: Expr,
+) -> Optional[Tuple[ColumnRef, str, Any]]:
+    """``(column, op, literal value)`` for column-vs-constant comparisons
+    (normalised so the column is on the left), else None."""
+    if not isinstance(conjunct, BinaryOp):
+        return None
+    op = conjunct.op
+    if op not in ("=", "<", "<=", ">", ">=", "<>", "!="):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right = right, left
+        op = _FLIPPED.get(op, op)
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left, op, right.value
+    return None
+
+
+def equality_column_names(conjuncts: Sequence[Expr]) -> List[str]:
+    """Lower-cased bare column names with an equality-vs-constant
+    conjunct — the raw material of the full-clustered-key rule."""
+    names = []
+    for conjunct in conjuncts:
+        comparison = _column_comparison(conjunct)
+        if comparison is not None and comparison[1] == "=":
+            names.append(comparison[0].name.lower())
+    return names
+
+
+class CostModel:
+    """Prices plans from table statistics. All constants are per-row
+    unit costs, tunable per instance (tests pin decisions by nudging
+    them, e.g. lowering ``exchange_startup_cost``)."""
+
+    # access paths
+    scan_row_cost = 1.0          # heap scan, per stored row
+    ordered_scan_row_cost = 1.1  # clustered scan (B-tree leaf chain)
+    seek_descend_cost = 0.3      # one B-tree root-to-leaf descend
+    seek_row_cost = 0.9          # per row delivered from the leaf range
+    bookmark_lookup_cost = 2.0   # secondary index: heap fetch per row
+    # row-at-a-time operators
+    filter_row_cost = 0.4        # predicate evaluation per input row
+    project_row_cost = 0.05
+    sort_row_factor = 0.2        # times n*log2(n)
+    # joins
+    hash_build_row_cost = 1.5
+    hash_probe_row_cost = 1.0
+    merge_row_cost = 0.5
+    nested_loop_row_cost = 0.5   # per (outer x inner) pair
+    output_row_cost = 0.1
+    # aggregation
+    agg_row_cost = 1.2
+    stream_agg_row_cost = 1.0
+    repartition_row_cost = 0.25
+    exchange_startup_cost = 32_500.0
+    # table functions
+    tvf_row_cost = 1.0
+    default_tvf_rows = 1000
+    apply_fanout = 8
+
+    def __init__(self, **overrides: float):
+        for name, value in overrides.items():
+            if not hasattr(type(self), name):
+                raise TypeError(f"unknown cost constant {name!r}")
+            setattr(self, name, value)
+
+    # -- selectivity ---------------------------------------------------------
+
+    def conjunct_selectivity(self, conjunct: Expr, table=None) -> float:
+        """Estimated fraction of rows satisfying one conjunct over
+        ``table`` (whose statistics may be absent)."""
+        stats: Optional[TableStats] = (
+            getattr(table, "statistics", None) if table is not None else None
+        )
+
+        def column_stats(ref: ColumnRef):
+            return stats.column(ref.name) if stats is not None else None
+
+        comparison = _column_comparison(conjunct)
+        if comparison is not None:
+            ref, op, value = comparison
+            col = column_stats(ref)
+            if op == "=":
+                if col is not None:
+                    return col.eq_selectivity(value)
+                return DEFAULT_EQ_SELECTIVITY
+            if op in ("<>", "!="):
+                eq = (
+                    col.eq_selectivity(value)
+                    if col is not None
+                    else DEFAULT_EQ_SELECTIVITY
+                )
+                return max(1.0 - eq, 0.0)
+            if col is not None:
+                if op in ("<", "<="):
+                    return col.range_selectivity(
+                        hi=value, hi_inclusive=(op == "<=")
+                    )
+                return col.range_selectivity(
+                    lo=value, lo_inclusive=(op == ">=")
+                )
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, Between):
+            if isinstance(conjunct.operand, ColumnRef) and isinstance(
+                conjunct.low, Literal
+            ) and isinstance(conjunct.high, Literal):
+                col = column_stats(conjunct.operand)
+                if col is not None:
+                    return col.range_selectivity(
+                        lo=conjunct.low.value, hi=conjunct.high.value
+                    )
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, InList):
+            if isinstance(conjunct.operand, ColumnRef) and all(
+                isinstance(item, Literal) for item in conjunct.items
+            ):
+                col = column_stats(conjunct.operand)
+                if col is not None:
+                    total = sum(
+                        col.eq_selectivity(item.value)
+                        for item in conjunct.items
+                    )
+                    return min(total, 1.0)
+            return min(
+                len(conjunct.items) * DEFAULT_EQ_SELECTIVITY, 1.0
+            )
+        if isinstance(conjunct, Like):
+            return DEFAULT_LIKE_SELECTIVITY
+        if isinstance(conjunct, IsNull):
+            if isinstance(conjunct.operand, ColumnRef):
+                col = column_stats(conjunct.operand)
+                if col is not None and col.n_rows:
+                    null_fraction = col.n_nulls / col.n_rows
+                    return (
+                        1.0 - null_fraction
+                        if conjunct.negated
+                        else null_fraction
+                    )
+            return 0.9 if conjunct.negated else 0.1
+        if isinstance(conjunct, BinaryOp) and conjunct.op.upper() == "OR":
+            left = self.conjunct_selectivity(conjunct.left, table)
+            right = self.conjunct_selectivity(conjunct.right, table)
+            return min(left + right - left * right, 1.0)
+        return DEFAULT_SELECTIVITY
+
+    # -- cardinality ---------------------------------------------------------
+
+    def scan_output(self, table, conjuncts: Sequence[Expr]) -> int:
+        """Rows a scan of ``table`` delivers after ``conjuncts``.
+
+        Equality on every column of the clustered key pins the estimate
+        at exactly one row (key uniqueness beats any histogram)."""
+        rows = table.row_count
+        if not conjuncts:
+            return rows
+        schema = table.schema
+        if not schema.heap and schema.primary_key:
+            bound = set(equality_column_names(conjuncts))
+            if all(c.lower() in bound for c in schema.primary_key):
+                return 1
+        selectivity = 1.0
+        for conjunct in conjuncts:
+            selectivity *= self.conjunct_selectivity(conjunct, table)
+        return max(int(round(rows * selectivity)), 1)
+
+    def seek_rows(
+        self,
+        table,
+        bound: Sequence[Tuple[str, Any]],
+        full_key: bool,
+    ) -> int:
+        """Rows an equality seek on ``bound`` (column, value) pairs
+        delivers; a fully-bound unique key is exactly one row."""
+        if full_key:
+            return 1
+        stats: Optional[TableStats] = getattr(table, "statistics", None)
+        selectivity = 1.0
+        for name, value in bound:
+            col = stats.column(name) if stats is not None else None
+            if col is not None:
+                selectivity *= col.eq_selectivity(value)
+            else:
+                selectivity *= DEFAULT_EQ_SELECTIVITY
+        return max(int(round(table.row_count * selectivity)), 1)
+
+    def filter_output(
+        self, input_rows: int, conjuncts: Sequence[Expr], table=None
+    ) -> int:
+        selectivity = 1.0
+        for conjunct in conjuncts:
+            selectivity *= self.conjunct_selectivity(conjunct, table)
+        return max(int(round(input_rows * selectivity)), 1)
+
+    def join_rows(
+        self,
+        left_rows: int,
+        right_rows: int,
+        key_ndvs: Sequence[Optional[int]],
+    ) -> int:
+        """Equi-join output estimate: |L| * |R| / max(ndv) per key pair
+        when distinct counts are known, else the containment-free
+        fallback max(|L|, |R|)."""
+        known = [ndv for ndv in key_ndvs if ndv]
+        if not known:
+            return max(left_rows, right_rows)
+        estimate = float(left_rows) * float(right_rows)
+        for ndv in known:
+            estimate /= max(ndv, 1)
+        return max(int(round(estimate)), 1)
+
+    def group_rows(
+        self, input_rows: int, key_ndvs: Sequence[Optional[int]]
+    ) -> int:
+        """Aggregate output estimate: the product of group-key distinct
+        counts, capped by the input (unknown keys guess 10 values)."""
+        if input_rows <= 0:
+            return 1
+        if not key_ndvs:
+            return 1  # scalar aggregate
+        groups = 1.0
+        for ndv in key_ndvs:
+            groups *= ndv if ndv else 10
+        return max(min(int(round(groups)), input_rows), 1)
+
+    # -- decisions -----------------------------------------------------------
+
+    def seek_cost(self, rows: int, secondary: bool = False) -> float:
+        per_row = self.seek_row_cost + (
+            self.bookmark_lookup_cost if secondary else 0.0
+        )
+        return self.seek_descend_cost + rows * per_row
+
+    def scan_filter_cost(self, table_rows: int, n_conjuncts: int) -> float:
+        cost = table_rows * self.scan_row_cost
+        if n_conjuncts:
+            cost += table_rows * self.filter_row_cost
+        return cost
+
+    def prefer_merge_join(self, left_rows: int, right_rows: int) -> bool:
+        merge = (left_rows + right_rows) * self.merge_row_cost
+        hash_cost = (
+            right_rows * self.hash_build_row_cost
+            + left_rows * self.hash_probe_row_cost
+        )
+        return merge <= hash_cost
+
+    def parallel_agg_wins(self, input_rows: int, dop: int) -> bool:
+        """Does the exchange-based parallel aggregation price below the
+        serial hash aggregate for this input size?"""
+        if dop <= 1:
+            return False
+        serial = input_rows * self.agg_row_cost
+        parallel = (
+            self.exchange_startup_cost
+            + input_rows * self.repartition_row_cost
+            + input_rows * self.agg_row_cost / dop
+        )
+        return parallel < serial
+
+    # -- plan annotation -----------------------------------------------------
+
+    def annotate(self, op):
+        """Fill ``est_rows`` / ``est_cost`` on every node of a physical
+        plan (bottom-up; respects estimates the planner already set at
+        construction time from predicate statistics)."""
+        from ..executor import (
+            ClusteredIndexScan,
+            ClusteredIndexSeek,
+            CrossApply,
+            Distinct,
+            Filter,
+            HashAggregate,
+            HashJoin,
+            MaterializedResult,
+            MergeJoin,
+            NestedLoopJoin,
+            ParallelHashAggregate,
+            Project,
+            RowNumberWindow,
+            SecondaryIndexSeek,
+            Sort,
+            StreamAggregate,
+            TableScan,
+            Top,
+            TvfScan,
+        )
+
+        kids = list(op.children())
+        for kid in kids:
+            self.annotate(kid)
+        child_rows = [kid.est_rows for kid in kids]
+        first = child_rows[0] if child_rows else 0
+
+        rows = op.est_rows
+        if rows is None:
+            if isinstance(op, (TableScan, ClusteredIndexScan)):
+                rows = op.table.row_count
+            elif isinstance(op, (ClusteredIndexSeek, SecondaryIndexSeek)):
+                rows = max(op.table.row_count // 10, 1)
+            elif isinstance(op, Filter):
+                rows = max(first // 2, 1)
+            elif isinstance(op, (HashJoin, MergeJoin, NestedLoopJoin)):
+                rows = max(child_rows[0], child_rows[1])
+            elif isinstance(op, CrossApply):
+                rows = first * self.apply_fanout
+            elif isinstance(op, TvfScan):
+                rows = self.default_tvf_rows
+            elif isinstance(op, MaterializedResult):
+                rows = len(op)
+            elif isinstance(
+                op, (HashAggregate, StreamAggregate, ParallelHashAggregate)
+            ):
+                rows = 1 if not op.group_fns else max(first, 1)
+            elif isinstance(op, Top):
+                rows = min(op.n, first) if kids else op.n
+            elif kids:
+                rows = max(child_rows)
+            else:
+                rows = self.default_tvf_rows
+            op.est_rows = rows
+
+        if isinstance(op, TableScan):
+            self_cost = op.table.row_count * self.scan_row_cost
+        elif isinstance(op, ClusteredIndexScan):
+            self_cost = op.table.row_count * self.ordered_scan_row_cost
+        elif isinstance(op, ClusteredIndexSeek):
+            self_cost = self.seek_cost(rows)
+        elif isinstance(op, SecondaryIndexSeek):
+            self_cost = self.seek_cost(rows, secondary=True)
+        elif isinstance(op, Filter):
+            self_cost = first * self.filter_row_cost
+        elif isinstance(op, HashJoin):
+            self_cost = (
+                child_rows[1] * self.hash_build_row_cost
+                + child_rows[0] * self.hash_probe_row_cost
+                + rows * self.output_row_cost
+            )
+        elif isinstance(op, MergeJoin):
+            self_cost = (
+                (child_rows[0] + child_rows[1]) * self.merge_row_cost
+                + rows * self.output_row_cost
+            )
+        elif isinstance(op, NestedLoopJoin):
+            self_cost = (
+                child_rows[0] * child_rows[1] * self.nested_loop_row_cost
+            )
+        elif isinstance(op, CrossApply):
+            self_cost = rows * self.tvf_row_cost
+        elif isinstance(op, TvfScan):
+            self_cost = rows * self.tvf_row_cost
+        elif isinstance(op, (Sort, RowNumberWindow)):
+            self_cost = (
+                first * math.log2(first + 1) * self.sort_row_factor
+            )
+        elif isinstance(op, ParallelHashAggregate):
+            self_cost = (
+                self.exchange_startup_cost
+                + first * self.repartition_row_cost
+                + first * self.agg_row_cost / max(op.dop, 1)
+                + rows * self.output_row_cost
+            )
+        elif isinstance(op, HashAggregate):
+            self_cost = (
+                first * self.agg_row_cost + rows * self.output_row_cost
+            )
+        elif isinstance(op, StreamAggregate):
+            self_cost = first * self.stream_agg_row_cost
+        elif isinstance(op, Distinct):
+            self_cost = first * self.agg_row_cost
+        elif isinstance(op, Project):
+            self_cost = first * self.project_row_cost
+        else:
+            self_cost = 0.0
+        op.est_cost = self_cost + sum(
+            kid.est_cost or 0.0 for kid in kids
+        )
+        return op

@@ -1,0 +1,312 @@
+"""Rewrite rules over the logical plan IR.
+
+Three classic transformations, run in order:
+
+1. **predicate pushdown** — WHERE conjuncts move onto the first FROM
+   source (left-to-right) whose output binds all their columns, so
+   filters run below joins and seeks can consume them;
+2. **join reordering** — units of a join chain are greedily reordered
+   by estimated (post-filter) cardinality, smallest first, walking the
+   equality-connectivity graph so no cross product is introduced; the
+   ON conjuncts are re-distributed to the earliest join where they
+   bind. Chains containing CROSS APPLY keep their order (the apply
+   correlates positionally), as does any chain where redistribution
+   cannot place every conjunct;
+3. **projection pruning** — base-table Gets record which columns the
+   statement actually references, so heap scans materialise narrower
+   tuples. ``SELECT *`` (or a qualified star over a source) disables
+   pruning for the sources it expands.
+
+All rules mutate the plan in place and recurse into derived-table
+subplans first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    column_refs,
+)
+from ..sql import ast
+from .cost import CostModel
+from .logical import (
+    LogicalAggregate,
+    LogicalApply,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalNode,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSort,
+    LogicalWindow,
+    binds_names,
+)
+
+_CHILD_ATTRS = ("child", "left", "right", "outer")
+
+
+def _walk(node: LogicalNode):
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+def apply_rewrites(
+    plan: LogicalPlan, catalog, cost: Optional[CostModel] = None
+) -> LogicalPlan:
+    """Run every rewrite rule over ``plan`` (and its subplans)."""
+    cost = cost or CostModel()
+    for node in list(_walk(plan.root)):
+        if isinstance(node, LogicalGet) and node.inner is not None:
+            apply_rewrites(node.inner, catalog, cost)
+    push_down_predicates(plan)
+    reorder_joins(plan, cost)
+    prune_columns(plan)
+    return plan
+
+
+# -- predicate pushdown ------------------------------------------------------
+
+def _push_into(
+    node: LogicalNode, conjuncts: List[Expr]
+) -> Tuple[LogicalNode, List[Expr]]:
+    """Offer ``conjuncts`` to every FROM source under ``node`` in
+    left-to-right order; each conjunct lands on the first source whose
+    columns bind it. Returns the rewritten subtree + leftovers."""
+    if isinstance(node, LogicalJoin):
+        node.left, conjuncts = _push_into(node.left, conjuncts)
+        node.right, conjuncts = _push_into(node.right, conjuncts)
+        node.columns = list(node.left.columns) + list(node.right.columns)
+        return node, conjuncts
+    if isinstance(node, LogicalApply):
+        node.outer, conjuncts = _push_into(node.outer, conjuncts)
+        return node, conjuncts
+    if isinstance(node, (LogicalGet, LogicalFilter)):
+        local = [c for c in conjuncts if binds_names(node.columns, c)]
+        if not local:
+            return node, conjuncts
+        remaining = [c for c in conjuncts if id(c) not in
+                     {id(x) for x in local}]
+        if isinstance(node, LogicalFilter):
+            node.conjuncts.extend(local)
+            return node, remaining
+        return LogicalFilter(node, local, kind="PUSHED"), remaining
+    return node, conjuncts
+
+
+def push_down_predicates(plan: LogicalPlan) -> None:
+    def visit(node: LogicalNode) -> LogicalNode:
+        if isinstance(node, LogicalFilter) and node.kind == "WHERE":
+            child, remaining = _push_into(node.child, list(node.conjuncts))
+            if not remaining:
+                return child
+            node.child = child
+            node.conjuncts = remaining
+            return node
+        for attr in _CHILD_ATTRS:
+            if hasattr(node, attr):
+                setattr(node, attr, visit(getattr(node, attr)))
+        return node
+
+    plan.root = visit(plan.root)
+
+
+# -- join reordering ---------------------------------------------------------
+
+def _unit_rows(unit: LogicalNode, cost: CostModel) -> int:
+    """Estimated cardinality of one join unit (source + pushed filters)."""
+    if isinstance(unit, LogicalFilter):
+        base = unit.child
+        if isinstance(base, LogicalGet) and base.table is not None:
+            return cost.scan_output(base.table, unit.conjuncts)
+        return max(_unit_rows(base, cost) // 2, 1)
+    if isinstance(unit, LogicalGet):
+        if unit.table is not None:
+            return unit.table.row_count
+        if unit.inner is not None or isinstance(unit.source, ast.TvfRef):
+            return cost.default_tvf_rows
+        return 1  # OPENROWSET / constant row
+    return cost.default_tvf_rows
+
+
+def _is_equi_between(
+    conjunct: Expr, left_cols: Sequence[str], right_cols: Sequence[str]
+) -> bool:
+    """Is this an equality between a column of each side?"""
+    if not (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return False
+    a, b = conjunct.left, conjunct.right
+    return (
+        binds_names(left_cols, a) and binds_names(right_cols, b)
+    ) or (
+        binds_names(left_cols, b) and binds_names(right_cols, a)
+    )
+
+
+def _reorder_chain(
+    top: LogicalJoin, cost: CostModel
+) -> LogicalNode:
+    units: List[LogicalNode] = []
+    pool: List[Expr] = []
+
+    def collect(node: LogicalNode) -> None:
+        if isinstance(node, LogicalJoin):
+            collect(node.left)
+            pool.extend(node.conjuncts)
+            units.append(node.right)
+        else:
+            units.append(node)
+
+    collect(top)
+    if len(units) < 3:
+        return top  # a two-way join has nothing to reorder
+    if any(
+        isinstance(n, LogicalApply)
+        for unit in units
+        for n in _walk(unit)
+    ):
+        return top
+
+    estimates = {id(u): _unit_rows(u, cost) for u in units}
+    remaining = list(units)
+    order = [min(remaining, key=lambda u: estimates[id(u)])]
+    remaining.remove(order[0])
+    bound_cols = list(order[0].columns)
+    while remaining:
+        connected = [
+            u
+            for u in remaining
+            if any(
+                _is_equi_between(c, bound_cols, u.columns) for c in pool
+            )
+        ]
+        if not connected:
+            return top  # would introduce a cross product — keep as written
+        nxt = min(connected, key=lambda u: estimates[id(u)])
+        remaining.remove(nxt)
+        order.append(nxt)
+        bound_cols.extend(nxt.columns)
+
+    if [id(u) for u in order] == [id(u) for u in units]:
+        return top  # unchanged — keep the original ON placement exactly
+
+    # rebuild left-deep, re-distributing ON conjuncts to the earliest
+    # join where they bind
+    unused = list(pool)
+    current: LogicalNode = order[0]
+    for unit in order[1:]:
+        combined = list(current.columns) + list(unit.columns)
+        here = [
+            c
+            for c in unused
+            if binds_names(combined, c)
+            and not binds_names(current.columns, c)
+        ]
+        if not any(
+            _is_equi_between(c, current.columns, unit.columns)
+            for c in here
+        ):
+            return top  # no equality predicate for this step — bail out
+        unused = [c for c in unused if id(c) not in {id(x) for x in here}]
+        current = LogicalJoin(current, unit, here)
+    if unused:
+        return top  # a conjunct found no home — keep the original tree
+    return current
+
+
+def reorder_joins(plan: LogicalPlan, cost: CostModel) -> None:
+    def visit(node: LogicalNode) -> LogicalNode:
+        if isinstance(node, LogicalJoin):
+            return _reorder_chain(node, cost)
+        for attr in _CHILD_ATTRS:
+            if hasattr(node, attr):
+                setattr(node, attr, visit(getattr(node, attr)))
+        return node
+
+    plan.root = visit(plan.root)
+
+
+# -- projection pruning ------------------------------------------------------
+
+def _collect_refs(plan: LogicalPlan) -> Tuple[List[ColumnRef], List[Optional[str]]]:
+    """Every column reference at this query level, plus the qualifiers
+    of any ``*`` items (None = unqualified star)."""
+    refs: List[ColumnRef] = []
+    stars: List[Optional[str]] = []
+
+    def add(expr: Optional[Expr]) -> None:
+        if expr is not None:
+            refs.extend(column_refs(expr))
+
+    for node in _walk(plan.root):
+        if isinstance(node, (LogicalFilter, LogicalJoin)):
+            for conjunct in node.conjuncts:
+                add(conjunct)
+        elif isinstance(node, LogicalApply):
+            for arg in node.source.args:
+                add(arg)
+        elif isinstance(node, LogicalAggregate):
+            for expr in node.group_by:
+                add(expr)
+            for agg in node.aggregates.values():
+                add(agg)
+        elif isinstance(node, LogicalWindow):
+            for window in node.windows.values():
+                add(window)
+        elif isinstance(node, LogicalSort):
+            for expr, _ in node.order_by:
+                add(expr)
+        elif isinstance(node, LogicalProject):
+            for item in node.items:
+                if item.star:
+                    stars.append(item.star_qualifier)
+                else:
+                    add(item.expr)
+    stmt = plan.stmt
+    add(stmt.having)
+    for expr, _ in stmt.order_by:
+        add(expr)
+    return refs, stars
+
+
+def prune_columns(plan: LogicalPlan) -> None:
+    refs, stars = _collect_refs(plan)
+    if any(q is None for q in stars):
+        return  # SELECT * needs every column of every source
+    starred = {q.lower() for q in stars if q is not None}
+    for node in _walk(plan.root):
+        if not isinstance(node, LogicalGet) or node.table is None:
+            continue
+        binding = (node.binding or "").lower()
+        if binding in starred:
+            continue
+        schema = node.table.schema
+        names = {c.name.lower() for c in schema.columns}
+        wanted = set()
+        for ref in refs:
+            target = ref.name.lower()
+            if target not in names:
+                continue
+            if ref.qualifier is None or ref.qualifier.lower() == binding:
+                wanted.add(target)
+        required = tuple(
+            c.name for c in schema.columns if c.name.lower() in wanted
+        )
+        if not required:
+            # e.g. SELECT COUNT(*): one column is enough to count rows
+            required = (schema.columns[0].name,)
+        if len(required) < len(schema.columns):
+            node.required = required
+            node.columns = [
+                f"{node.binding}.{name}" for name in required
+            ]

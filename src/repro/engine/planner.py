@@ -1,32 +1,41 @@
-"""Query planner: SELECT AST → physical operator tree.
+"""Query planner: SELECT AST → logical plan → physical operator tree.
 
-A rule-based planner in the spirit of the plans the paper shows:
+Planning runs in two phases, the classic logical/physical split of the
+SQL Server 2008 optimizer the paper's plans come from:
 
-- **access paths** — base tables scan as heaps; when a clustered key can
-  satisfy equality predicates the planner emits a Clustered Index Seek,
-  and when a downstream operator wants key order it emits a Clustered
-  Index Scan;
-- **predicate pushdown** — WHERE conjuncts that reference a single
-  source are applied directly above that source's scan, before joins;
-- **join selection** — equi-joins between inputs that both arrive
-  ordered on the join key become Merge Joins (Figure 10's plan);
-  otherwise a Hash Join; non-equi predicates stay as residuals;
-- **aggregation strategy** — ordered-input UDAs get a Stream Aggregate
-  (sorting first if the input is not already ordered); large
-  parallel-safe aggregations get the exchange-based parallel plan
-  (Figure 9); everything else gets a Hash Aggregate;
-- **windows** — ``ROW_NUMBER() OVER (ORDER BY ...)`` plans as a
-  Sequence Project above the aggregation.
+1. the binder lowers the AST into the logical IR of
+   :mod:`repro.engine.optimizer.logical` and the rewrite rules of
+   :mod:`repro.engine.optimizer.rules` run over it (predicate pushdown,
+   projection pruning, cardinality-ordered join reordering);
+2. this module lowers the rewritten logical tree to physical
+   operators, choosing between alternatives with the cost model of
+   :mod:`repro.engine.optimizer.cost`, fed by the table statistics
+   ``UPDATE STATISTICS`` collects:
 
-``explain()`` renders the chosen tree as indented text — the stand-in
-for the graphical plans in the paper's Figures 9 and 10.
+   - **access paths** — heap scan vs. clustered/secondary index seek
+     is a cost comparison of the B-tree descend + estimated qualifying
+     rows against the full scan with a residual filter;
+   - **join algorithm** — equi-joins whose inputs both deliver join-key
+     order price a Merge Join against the Hash Join's build surcharge
+     (Figure 10's plan); non-equi predicates stay as residuals;
+   - **aggregation strategy** — ordered-input UDAs get a Stream
+     Aggregate (sorting first if needed); parallel-safe aggregations
+     take the exchange-based parallel plan (Figure 9) when the
+     estimated input cardinality makes the exchange startup cost pay
+     for itself, or when an ``OPTION (MAXDOP n)`` hint forces it;
+   - **windows** — ``ROW_NUMBER() OVER (ORDER BY ...)`` plans as a
+     Sequence Project above the aggregation.
+
+Every physical node is annotated with ``est_rows`` / ``est_cost``;
+``explain()`` renders the tree with those annotations, and EXPLAIN
+ANALYZE adds the actual row counts observed during execution.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from .errors import BindError, SqlSyntaxError
+from .errors import BindError
 from .executor import (
     AggregateSpec,
     ClusteredIndexScan,
@@ -42,6 +51,7 @@ from .executor import (
     PhysicalOperator,
     Project,
     RowNumberWindow,
+    SecondaryIndexSeek,
     Sort,
     StreamAggregate,
     TableScan,
@@ -49,26 +59,35 @@ from .executor import (
     TvfScan,
 )
 from .expressions import (
-    AggregateCall,
-    BinaryOp,
     BoundRef,
     ColumnRef,
     Expr,
     ExpressionCompiler,
-    FuncCall,
     Literal,
-    WindowCall,
+    BinaryOp,
     column_refs,
     expression_to_sql,
-    find_aggregates,
-    find_windows,
     rewrite,
 )
+from .optimizer import CostModel, apply_rewrites, lower_select
+from .optimizer.logical import (
+    LogicalAggregate,
+    LogicalApply,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalNode,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSort,
+    LogicalTop,
+    LogicalWindow,
+    bind_udas,
+    conjoin as _conjoin,
+    split_conjuncts as _split_conjuncts,
+)
 from .sql import ast
-
-#: row-count threshold above which a parallel-safe aggregation is
-#: planned with the exchange operator
-PARALLEL_AGG_THRESHOLD = 50_000
 
 
 def make_binder(op: PhysicalOperator) -> Callable[[ColumnRef], int]:
@@ -111,41 +130,6 @@ def _binds(op: PhysicalOperator, expr: Expr) -> bool:
         return False
 
 
-def _split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
-    if expr is None:
-        return []
-    if isinstance(expr, BinaryOp) and expr.op.upper() == "AND":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
-
-
-def _conjoin(conjuncts: Sequence[Expr]) -> Optional[Expr]:
-    result: Optional[Expr] = None
-    for conjunct in conjuncts:
-        result = conjunct if result is None else BinaryOp("AND", result, conjunct)
-    return result
-
-
-def estimate_rows(op: PhysicalOperator) -> int:
-    """Crude cardinality estimate used for the parallel-plan decision."""
-    if isinstance(op, (TableScan, ClusteredIndexScan)):
-        return op.table.row_count
-    if isinstance(op, ClusteredIndexSeek):
-        return max(op.table.row_count // 10, 1)
-    if isinstance(op, Filter):
-        return max(estimate_rows(op.child) // 2, 1)
-    if isinstance(op, (HashJoin, MergeJoin)):
-        return max(estimate_rows(op.left), estimate_rows(op.right))
-    if isinstance(op, CrossApply):
-        return estimate_rows(op.outer) * 8  # TVFs typically fan out
-    if isinstance(op, MaterializedResult):
-        return len(op)
-    kids = op.children()
-    if kids:
-        return max(estimate_rows(k) for k in kids)
-    return 1000
-
-
 class _Relabel(PhysicalOperator):
     """Expose a child operator under new column names (derived tables)."""
 
@@ -166,72 +150,107 @@ class _Relabel(PhysicalOperator):
         return label, self.child.children()
 
 
+class _LowerContext:
+    """State threaded through lowering of one SELECT: the statement and
+    the substitution map aggregate/window operators establish for the
+    expressions above them."""
+
+    __slots__ = ("stmt", "subst")
+
+    def __init__(self, stmt: ast.SelectStmt):
+        self.stmt = stmt
+        self.subst: Dict[str, BoundRef] = {}
+
+
 class Planner:
     """Plans statements against one database instance."""
 
-    def __init__(self, database):
+    def __init__(self, database, cost: Optional[CostModel] = None):
         self.database = database
+        self.cost = cost if cost is not None else CostModel()
 
     # ------------------------------------------------------------------ SELECT
 
     def plan_select(self, stmt: ast.SelectStmt) -> PhysicalOperator:
-        conjuncts = _split_conjuncts(stmt.where)
-        op, remaining = self._plan_from(stmt, conjuncts)
-        op = self._apply_residual_where(op, remaining)
-        op, agg_subst = self._apply_group_by(op, stmt)
-        if stmt.having is not None:
-            having = self._substitute(
-                self._bind_udas(stmt.having), agg_subst
-            )
-            compiler = ExpressionCompiler(
-                make_binder(op), self.database.catalog.functions
-            )
-            op = Filter(op, compiler.compile(having), label="HAVING")
-        op, window_subst = self._apply_windows(op, stmt, agg_subst)
-        subst = {**agg_subst, **window_subst}
-        op = self._apply_order_project_top(op, stmt, subst)
+        logical = lower_select(stmt, self.database.catalog)
+        apply_rewrites(logical, self.database.catalog, self.cost)
+        op = self._lower_plan(logical)
+        self.cost.annotate(op)
         return op
+
+    def explain_select(self, stmt: ast.SelectStmt) -> str:
+        return self.plan_select(stmt).explain()
+
+    # -- logical → physical lowering ---------------------------------------------
+
+    def _lower_plan(self, plan: LogicalPlan) -> PhysicalOperator:
+        return self._lower(plan.root, _LowerContext(plan.stmt))
+
+    def _lower(
+        self, node: LogicalNode, ctx: _LowerContext
+    ) -> PhysicalOperator:
+        if isinstance(node, LogicalGet):
+            return self._lower_get(node)
+        if isinstance(node, LogicalFilter):
+            child = self._lower(node.child, ctx)
+            if node.kind == "HAVING":
+                return self._lower_having(child, node, ctx)
+            return self._apply_residual_where(child, list(node.conjuncts))
+        if isinstance(node, LogicalJoin):
+            left = self._lower(node.left, ctx)
+            right = self._lower(node.right, ctx)
+            return self._make_join(left, right, list(node.conjuncts))
+        if isinstance(node, LogicalApply):
+            outer = self._lower(node.outer, ctx)
+            return self._plan_cross_apply(outer, node.source)
+        if isinstance(node, LogicalAggregate):
+            child = self._lower(node.child, ctx)
+            op, subst = self._apply_group_by(child, node)
+            ctx.subst.update(subst)
+            return op
+        if isinstance(node, LogicalWindow):
+            child = self._lower(node.child, ctx)
+            op, subst = self._apply_windows(child, node, ctx.subst)
+            ctx.subst.update(subst)
+            return op
+        if isinstance(node, LogicalProject):
+            below = node.child
+            if isinstance(below, LogicalSort):
+                below = below.child  # ORDER BY lowers with the projection
+            op = self._lower(below, ctx)
+            return self._apply_order_project_top(op, ctx.stmt, ctx.subst)
+        if isinstance(node, LogicalDistinct):
+            return Distinct(self._lower(node.child, ctx))
+        if isinstance(node, LogicalTop):
+            return Top(self._lower(node.child, ctx), node.n)
+        raise BindError(
+            f"cannot lower logical node {type(node).__name__}"
+        )  # pragma: no cover - every node type is handled above
 
     # -- FROM --------------------------------------------------------------------
 
-    def _plan_from(
-        self, stmt: ast.SelectStmt, conjuncts: List[Expr]
-    ) -> Tuple[PhysicalOperator, List[Expr]]:
-        if stmt.source is None:
-            return MaterializedResult([], [()]), conjuncts
-        op, conjuncts = self._plan_source_filtered(stmt.source, conjuncts)
-        for join in stmt.joins:
-            if join.kind == "CROSS APPLY":
-                op = self._plan_cross_apply(op, join.source)
-            else:
-                op, conjuncts = self._plan_join(op, join, conjuncts)
-        return op, conjuncts
-
-    def _plan_source_filtered(
-        self, source, conjuncts: List[Expr]
-    ) -> Tuple[PhysicalOperator, List[Expr]]:
-        """Plan one FROM source and push down every WHERE conjunct whose
-        columns all resolve against it (seeking on a clustered-key
-        prefix where possible)."""
-        op = self._plan_source(source)
-        local = [c for c in conjuncts if _binds(op, c)]
-        remaining = [c for c in conjuncts if not _binds(op, c)]
-        if local:
-            op = self._apply_residual_where(op, local)
-        return op, remaining
-
-    def _plan_source(self, source) -> PhysicalOperator:
+    def _lower_get(self, node: LogicalGet) -> PhysicalOperator:
+        source = node.source
+        if source is None:
+            return MaterializedResult([], [()])  # constant one-row input
         if isinstance(source, ast.TableRef):
-            table = self.database.catalog.table(source.name)
-            return TableScan(table, alias=source.binding_name)
+            scan = TableScan(
+                node.table,
+                alias=source.binding_name,
+                projection=node.required,
+            )
+            scan.est_rows = node.table.row_count
+            return scan
         if isinstance(source, ast.TvfRef):
             tvf = self.database.catalog.functions.tvf(source.name)
             if tvf is None:
-                raise BindError(f"unknown table-valued function {source.name!r}")
+                raise BindError(
+                    f"unknown table-valued function {source.name!r}"
+                )
             args = self._eval_constant_args(source.args)
             return TvfScan(tvf, args, alias=source.binding_name)
         if isinstance(source, ast.SubqueryRef):
-            inner = self.plan_select(source.select)
+            inner = self._lower_plan(node.inner)
             alias = source.binding_name
             renamed = [
                 f"{alias}.{c.rsplit('.', 1)[-1]}" for c in inner.columns
@@ -241,7 +260,9 @@ class Planner:
             data = self.database.read_bulk_file(source.path)
             alias = source.binding_name
             return MaterializedResult([f"{alias}.BulkColumn"], [(data,)])
-        raise BindError(f"unsupported FROM source {type(source).__name__}")
+        raise BindError(
+            f"unsupported FROM source {type(source).__name__}"
+        )
 
     def _eval_constant_args(self, args: Sequence[Expr]) -> List[Any]:
         def no_columns(ref: ColumnRef) -> int:
@@ -254,7 +275,9 @@ class Planner:
         )
         return [compiler.compile(a)(()) for a in args]
 
-    def _plan_cross_apply(self, outer: PhysicalOperator, source) -> PhysicalOperator:
+    def _plan_cross_apply(
+        self, outer: PhysicalOperator, source
+    ) -> PhysicalOperator:
         if not isinstance(source, ast.TvfRef):
             raise BindError("CROSS APPLY supports table-valued functions only")
         tvf = self.database.catalog.functions.tvf(source.name)
@@ -268,18 +291,12 @@ class Planner:
 
     # -- joins -----------------------------------------------------------------------
 
-    def _plan_join(
+    def _make_join(
         self,
         left: PhysicalOperator,
-        join: ast.JoinClause,
-        where_conjuncts: Optional[List[Expr]] = None,
-    ) -> Tuple[PhysicalOperator, List[Expr]]:
-        if where_conjuncts is None:
-            where_conjuncts = []
-        right, where_conjuncts = self._plan_source_filtered(
-            join.source, where_conjuncts
-        )
-        conjuncts = _split_conjuncts(join.on)
+        right: PhysicalOperator,
+        conjuncts: List[Expr],
+    ) -> PhysicalOperator:
         equi: List[Tuple[ColumnRef, ColumnRef]] = []
         residual: List[Expr] = []
         for conjunct in conjuncts:
@@ -295,11 +312,18 @@ class Planner:
         left_refs = [pair[0] for pair in equi]
         right_refs = [pair[1] for pair in equi]
 
+        self.cost.annotate(left)
+        self.cost.annotate(right)
+        left_rows = left.est_rows or 1
+        right_rows = right.est_rows or 1
+
         # Merge join when both sides can deliver join-key order from a
-        # clustered index.
+        # clustered index and it prices below the hash join's build.
         merged = self._try_merge_join(left, right, left_refs, right_refs)
-        if merged is not None:
-            joined = merged
+        if merged is not None and self.cost.prefer_merge_join(
+            left_rows, right_rows
+        ):
+            joined: PhysicalOperator = merged
         else:
             left_binder = make_binder(left)
             right_binder = make_binder(right)
@@ -313,13 +337,26 @@ class Planner:
                 for r in right_refs
             ]
             joined = HashJoin(left, right, left_fns, right_fns)
+        key_ndvs = []
+        for left_ref, right_ref in equi:
+            sides = [
+                self._column_ndv(left, left_ref),
+                self._column_ndv(right, right_ref),
+            ]
+            known = [n for n in sides if n]
+            key_ndvs.append(max(known) if known else None)
+        joined.est_rows = self.cost.join_rows(
+            left_rows, right_rows, key_ndvs
+        )
         if residual:
             compiler = ExpressionCompiler(
                 make_binder(joined), self.database.catalog.functions
             )
             predicate = compiler.compile(_conjoin(residual))
+            join_rows = joined.est_rows
             joined = Filter(joined, predicate, label="join residual")
-        return joined, where_conjuncts
+            joined.est_rows = self.cost.filter_output(join_rows, residual)
+        return joined
 
     def _equi_pair(
         self, left: PhysicalOperator, right: PhysicalOperator, conjunct: Expr
@@ -405,14 +442,53 @@ class Planner:
             if not table.schema.heap and tuple(
                 c.lower() for c in table.schema.primary_key[: len(names)]
             ) == tuple(n.lower() for n in names):
-                return ClusteredIndexScan(table, alias=op.alias)
+                # keep the scan's projection so column positions — which
+                # expressions above may already be compiled against —
+                # stay identical across the upgrade
+                projection = None
+                if op.projection is not None:
+                    projection = [
+                        table.schema.column_names[i] for i in op.projection
+                    ]
+                upgraded = ClusteredIndexScan(
+                    table, alias=op.alias, projection=projection
+                )
+                if upgraded.ordering[: len(effective)] != effective:
+                    return None
+                upgraded.est_rows = table.row_count
+                return upgraded
         if isinstance(op, Filter):
             upgraded = self._ordered_on(op.child, refs)
             if upgraded is op.child:
                 return op
             if upgraded is not None:
-                return Filter(upgraded, op.predicate, label=op.label)
+                replaced = Filter(upgraded, op.predicate, label=op.label)
+                replaced.est_rows = op.est_rows
+                return replaced
         return None
+
+    # -- statistics lookups ------------------------------------------------------------
+
+    def _base_operators(self, op: PhysicalOperator):
+        if hasattr(op, "table"):
+            yield op
+        for kid in op.children():
+            yield from self._base_operators(kid)
+
+    def _column_ndv(
+        self, op: PhysicalOperator, ref: ColumnRef
+    ) -> Optional[int]:
+        """Distinct count of the base-table column ``ref`` resolves to
+        under ``op``, when statistics exist for exactly one candidate."""
+        owners = [
+            base for base in self._base_operators(op) if _binds(base, ref)
+        ]
+        if len(owners) != 1:
+            return None
+        stats = getattr(owners[0].table, "statistics", None)
+        if stats is None:
+            return None
+        return stats.n_distinct(ref.name)
 
     # -- WHERE ------------------------------------------------------------------------
 
@@ -423,7 +499,7 @@ class Planner:
             return op
         library = self.database.catalog.functions
 
-        # Try converting a heap scan + PK-prefix equality into a seek.
+        # Price an index seek against scan + residual filter.
         if isinstance(op, TableScan):
             op, conjuncts = self._try_seek(op, conjuncts)
         if not conjuncts:
@@ -433,7 +509,16 @@ class Planner:
         label = expression_to_sql(_conjoin(conjuncts))
         if len(label) > 60:
             label = label[:57] + "..."
-        return Filter(op, predicate, label=label)
+        filtered = Filter(op, predicate, label=label)
+        table = getattr(op, "table", None)
+        if table is not None:
+            if isinstance(op, (TableScan, ClusteredIndexScan)):
+                filtered.est_rows = self.cost.scan_output(table, conjuncts)
+            elif op.est_rows is not None:
+                filtered.est_rows = self.cost.filter_output(
+                    op.est_rows, conjuncts, table
+                )
+        return filtered
 
     @staticmethod
     def _equality_bindings(
@@ -475,86 +560,106 @@ class Planner:
             consumed.append(conjunct)
         return tuple(prefix), consumed
 
+    @staticmethod
+    def _scan_positions(scan: TableScan) -> Dict[str, int]:
+        """Bare column name → position in the scan's (possibly pruned)
+        output, so index-key prefixes resolve against projections."""
+        positions: Dict[str, int] = {}
+        for i, col in enumerate(scan.columns):
+            positions.setdefault(col.lower().rsplit(".", 1)[-1], i)
+        return positions
+
     def _try_seek(
         self, scan: TableScan, conjuncts: List[Expr]
     ) -> Tuple[PhysicalOperator, List[Expr]]:
+        """Convert a scan + equality conjuncts into the cheapest seek,
+        when one prices below the scan with its residual filter."""
         table = scan.table
         bindings = self._equality_bindings(scan, conjuncts)
         if not bindings:
             return scan, conjuncts
+        positions = self._scan_positions(scan)
+        scan_cost = self.cost.scan_filter_cost(
+            table.row_count, len(conjuncts)
+        )
+        # (cost, tie_break, est, builder, consumed)
+        candidates: List[Tuple[float, int, int, Callable, List[Expr]]] = []
 
-        # prefer the clustered key (no bookmark lookup)
-        if not table.schema.heap and table.schema.primary_key:
+        schema = table.schema
+        if not schema.heap and schema.primary_key:
             key_positions = [
-                table.schema.column_index(c)
-                for c in table.schema.primary_key
+                positions.get(c.lower(), -1) for c in schema.primary_key
             ]
             prefix, consumed = self._bound_prefix(key_positions, bindings)
             if prefix:
-                seek = ClusteredIndexSeek(
-                    table, prefix, prefix, alias=scan.alias
+                bound = list(zip(schema.primary_key, prefix))
+                est = self.cost.seek_rows(
+                    table, bound, full_key=len(prefix) == len(schema.primary_key)
                 )
-                consumed_ids = {id(c) for c in consumed}
-                remaining = [
-                    c for c in conjuncts if id(c) not in consumed_ids
-                ]
-                return seek, remaining
 
-        # fall back to the best secondary index (longest bound prefix)
-        best: Optional[Tuple[str, Tuple[Any, ...], List[Expr]]] = None
+                def build_clustered(
+                    prefix=prefix,
+                ) -> PhysicalOperator:
+                    return ClusteredIndexSeek(
+                        table, prefix, prefix, alias=scan.alias
+                    )
+
+                candidates.append(
+                    (self.cost.seek_cost(est), 0, est, build_clustered, consumed)
+                )
         for name, col_idxs in table.secondary_indexes().items():
-            prefix, consumed = self._bound_prefix(col_idxs, bindings)
-            if prefix and (best is None or len(prefix) > len(best[1])):
-                best = (name, prefix, consumed)
-        if best is not None:
-            from .executor import SecondaryIndexSeek
+            index_positions = [
+                positions.get(schema.columns[i].name.lower(), -1)
+                for i in col_idxs
+            ]
+            prefix, consumed = self._bound_prefix(index_positions, bindings)
+            if not prefix:
+                continue
+            bound = [
+                (schema.columns[col_idxs[i]].name, prefix[i])
+                for i in range(len(prefix))
+            ]
+            est = self.cost.seek_rows(table, bound, full_key=False)
 
-            name, prefix, consumed = best
-            seek = SecondaryIndexSeek(
-                table, name, prefix, prefix, alias=scan.alias
+            def build_secondary(
+                name=name, prefix=prefix
+            ) -> PhysicalOperator:
+                return SecondaryIndexSeek(
+                    table, name, prefix, prefix, alias=scan.alias
+                )
+
+            candidates.append(
+                (
+                    self.cost.seek_cost(est, secondary=True),
+                    1,
+                    est,
+                    build_secondary,
+                    consumed,
+                )
             )
-            consumed_ids = {id(c) for c in consumed}
-            remaining = [c for c in conjuncts if id(c) not in consumed_ids]
-            return seek, remaining
-        return scan, conjuncts
+        if not candidates:
+            return scan, conjuncts
+        cost, _, est, build, consumed = min(
+            candidates, key=lambda c: (c[0], c[1])
+        )
+        if cost >= scan_cost:
+            return scan, conjuncts
+        seek = build()
+        seek.est_rows = est
+        consumed_ids = {id(c) for c in consumed}
+        remaining = [c for c in conjuncts if id(c) not in consumed_ids]
+        return seek, remaining
 
     # -- GROUP BY / aggregates -----------------------------------------------------------
 
-    def _bind_udas(self, expr: Expr) -> Expr:
-        """Convert registered-UDA function calls into AggregateCall nodes."""
-        library = self.database.catalog.functions
-
-        def transform(node: Expr) -> Optional[Expr]:
-            if isinstance(node, FuncCall) and library.uda(node.name) is not None:
-                return AggregateCall(node.name, node.args)
-            return None
-
-        return rewrite(expr, transform)
-
     def _apply_group_by(
-        self, op: PhysicalOperator, stmt: ast.SelectStmt
+        self, op: PhysicalOperator, node: LogicalAggregate
     ) -> Tuple[PhysicalOperator, Dict[str, BoundRef]]:
-        # Gather every expression that may contain aggregates.
-        exprs: List[Expr] = []
-        for item in stmt.items:
-            if item.expr is not None:
-                exprs.append(self._bind_udas(item.expr))
-        if stmt.having is not None:
-            exprs.append(self._bind_udas(stmt.having))
-        for order_expr, _ in stmt.order_by:
-            exprs.append(self._bind_udas(order_expr))
-        aggregates: Dict[str, AggregateCall] = {}
-        for expr in exprs:
-            for agg in find_aggregates(expr):
-                aggregates.setdefault(expression_to_sql(agg).lower(), agg)
-        if not stmt.group_by and not aggregates:
-            return op, {}
-
         library = self.database.catalog.functions
         binder = make_binder(op)
         compiler = ExpressionCompiler(binder, library)
 
-        group_exprs = list(stmt.group_by)
+        group_exprs = list(node.group_by)
         group_fns = [compiler.compile(e) for e in group_exprs]
         group_names = [expression_to_sql(e) for e in group_exprs]
         group_indexes = None
@@ -567,7 +672,7 @@ class Planner:
         specs: List[AggregateSpec] = []
         agg_names: List[str] = []
         subst: Dict[str, BoundRef] = {}
-        for i, (text, agg) in enumerate(aggregates.items()):
+        for i, agg in enumerate(node.aggregates.values()):
             uda_class = library.uda(agg.name)
             arg_fns = [compiler.compile(a) for a in agg.args]
             specs.append(
@@ -583,19 +688,29 @@ class Planner:
         # group columns come first in aggregate output
         for i, text in enumerate(n.lower() for n in group_names):
             subst[text] = BoundRef(i, label=group_names[i])
-        for i, text in enumerate(aggregates.keys()):
+        for i, text in enumerate(node.aggregates.keys()):
             subst[text] = BoundRef(len(group_names) + i, label=agg_names[i])
 
         needs_order = any(s.requires_ordered_input for s in specs)
         all_parallel_safe = all(s.parallel_safe for s in specs)
-        dop = stmt.maxdop if stmt.maxdop is not None else self.database.default_dop
-        # an explicit OPTION (MAXDOP n>1) hint opts into the parallel
-        # plan regardless of the (crude) cardinality estimate
-        big_input = (
-            estimate_rows(op) >= PARALLEL_AGG_THRESHOLD
-            or (stmt.maxdop is not None and stmt.maxdop > 1)
+        dop = (
+            node.maxdop
+            if node.maxdop is not None
+            else self.database.default_dop
         )
+        input_rows = self.cost.annotate(op).est_rows or 1
+        group_ndvs = [
+            self._column_ndv(op, e) if isinstance(e, ColumnRef) else None
+            for e in group_exprs
+        ]
+        output_rows = self.cost.group_rows(input_rows, group_ndvs)
+        # an explicit OPTION (MAXDOP n>1) hint opts into the parallel
+        # plan regardless of the cost model's cardinality estimate
+        go_parallel = (
+            node.maxdop is not None and node.maxdop > 1
+        ) or self.cost.parallel_agg_wins(input_rows, dop)
 
+        result: PhysicalOperator
         if needs_order:
             ordered = self._group_ordered(op, group_exprs)
             if ordered is None:
@@ -608,54 +723,43 @@ class Planner:
                 # recompile group fns against same columns (unchanged)
             else:
                 op = ordered
-            return (
-                StreamAggregate(op, group_fns, group_names, specs, agg_names),
-                subst,
-            )
-        if (
+            result = StreamAggregate(op, group_fns, group_names, specs, agg_names)
+        elif (
             all_parallel_safe
             and dop > 1
-            and big_input
+            and go_parallel
             and group_fns  # scalar aggregates stay serial; cheap anyway
         ):
-            return (
-                ParallelHashAggregate(
-                    op,
-                    group_fns,
-                    group_names,
-                    specs,
-                    agg_names,
-                    dop=dop,
-                    group_indexes=group_indexes,
-                ),
-                subst,
-            )
-        if not group_fns:
-            # scalar aggregate: Stream Aggregate emits exactly one row,
-            # with NULL/0 results on empty input (SQL semantics)
-            return (
-                StreamAggregate(op, [], [], specs, agg_names),
-                subst,
-            )
-        ordered = self._group_ordered(op, group_exprs)
-        if ordered is not None:
-            return (
-                StreamAggregate(
-                    ordered, group_fns, group_names, specs, agg_names
-                ),
-                subst,
-            )
-        return (
-            HashAggregate(
+            result = ParallelHashAggregate(
                 op,
                 group_fns,
                 group_names,
                 specs,
                 agg_names,
+                dop=dop,
                 group_indexes=group_indexes,
-            ),
-            subst,
-        )
+            )
+        elif not group_fns:
+            # scalar aggregate: Stream Aggregate emits exactly one row,
+            # with NULL/0 results on empty input (SQL semantics)
+            result = StreamAggregate(op, [], [], specs, agg_names)
+        else:
+            ordered = self._group_ordered(op, group_exprs)
+            if ordered is not None:
+                result = StreamAggregate(
+                    ordered, group_fns, group_names, specs, agg_names
+                )
+            else:
+                result = HashAggregate(
+                    op,
+                    group_fns,
+                    group_names,
+                    specs,
+                    agg_names,
+                    group_indexes=group_indexes,
+                )
+        result.est_rows = 1 if not group_fns else output_rows
+        return result, subst
 
     def _group_ordered(
         self, op: PhysicalOperator, group_exprs: Sequence[Expr]
@@ -671,21 +775,12 @@ class Planner:
     def _apply_windows(
         self,
         op: PhysicalOperator,
-        stmt: ast.SelectStmt,
+        node: LogicalWindow,
         agg_subst: Dict[str, BoundRef],
     ) -> Tuple[PhysicalOperator, Dict[str, BoundRef]]:
-        windows: Dict[str, WindowCall] = {}
-        for item in stmt.items:
-            if item.expr is None:
-                continue
-            expr = self._bind_udas(item.expr)
-            for window in find_windows(expr):
-                windows.setdefault(expression_to_sql(window).lower(), window)
-        if not windows:
-            return op, {}
         subst: Dict[str, BoundRef] = {}
         library = self.database.catalog.functions
-        for window in windows.values():
+        for text, window in node.windows.items():
             if window.name.lower() != "row_number":
                 raise BindError(
                     f"unsupported window function {window.name!r}"
@@ -705,8 +800,28 @@ class Planner:
             op = RowNumberWindow(op, order_fns, descending)
             bound = BoundRef(len(op.columns) - 1, label="row_number")
             subst[expression_to_sql(rebuilt).lower()] = bound
-            subst[expression_to_sql(window).lower()] = bound
+            subst[text] = bound
         return op, subst
+
+    # -- HAVING ----------------------------------------------------------------------
+
+    def _lower_having(
+        self,
+        op: PhysicalOperator,
+        node: LogicalFilter,
+        ctx: _LowerContext,
+    ) -> PhysicalOperator:
+        library = self.database.catalog.functions
+        having = self._substitute(
+            bind_udas(_conjoin(node.conjuncts), library), ctx.subst
+        )
+        compiler = ExpressionCompiler(make_binder(op), library)
+        filtered = Filter(op, compiler.compile(having), label="HAVING")
+        if op.est_rows is not None:
+            filtered.est_rows = self.cost.filter_output(
+                op.est_rows, node.conjuncts
+            )
+        return filtered
 
     # -- projection / order / top ---------------------------------------------------------
 
@@ -750,7 +865,7 @@ class Planner:
                     fns.append(lambda row, j=index: row[j])
                     names.append(col.rsplit(".", 1)[-1])
                 continue
-            expr = self._substitute(self._bind_udas(item.expr), subst)
+            expr = self._substitute(bind_udas(item.expr, library), subst)
             fns.append(compiler.compile(expr))
             if item.alias:
                 name = item.alias
@@ -775,7 +890,7 @@ class Planner:
                     bound = alias_exprs[order_expr.name.lower()]
                 else:
                     bound = self._substitute(
-                        self._bind_udas(order_expr), subst
+                        bind_udas(order_expr, library), subst
                     )
                 order_fns.append(compiler.compile(bound))
                 descending.append(desc)
@@ -786,8 +901,3 @@ class Planner:
         if stmt.top is not None:
             op = Top(op, stmt.top)
         return op
-
-    # -- explain -------------------------------------------------------------------------
-
-    def explain_select(self, stmt: ast.SelectStmt) -> str:
-        return self.plan_select(stmt).explain()

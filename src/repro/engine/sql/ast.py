@@ -179,6 +179,17 @@ class TruncateStmt:
 
 @dataclass
 class ExplainStmt:
-    """``EXPLAIN <select>`` — render the physical plan instead of rows."""
+    """``EXPLAIN [ANALYZE] <select>`` — render the physical plan instead
+    of rows; with ANALYZE, execute the query first and annotate each
+    operator with the actual row count it produced."""
 
     select: SelectStmt
+    analyze: bool = False
+
+
+@dataclass
+class UpdateStatisticsStmt:
+    """``UPDATE STATISTICS <table>`` / ``ANALYZE <table>`` — collect
+    optimizer statistics (row counts, distinct counts, histograms)."""
+
+    table: str

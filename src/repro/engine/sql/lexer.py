@@ -33,7 +33,7 @@ KEYWORDS = {
     "DATA_COMPRESSION", "ROW", "PAGE", "NONE", "OVER", "UNIQUE",
     "OPENROWSET", "BULK", "SINGLE_BLOB", "CLUSTERED", "EXISTS", "UNION",
     "ALL", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "EXPLAIN",
-    "OPTION", "MAXDOP", "TRUNCATE",
+    "OPTION", "MAXDOP", "TRUNCATE", "STATISTICS", "ANALYZE",
 }
 
 _TWO_CHAR_OPS = {"<>", "<=", ">=", "!=", "=="}

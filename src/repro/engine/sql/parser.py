@@ -145,7 +145,11 @@ class Parser:
             return self._parse_select()
         if token.matches_keyword("EXPLAIN"):
             self._next()
-            return ast.ExplainStmt(self._parse_select())
+            analyze = bool(self._accept_keyword("ANALYZE"))
+            return ast.ExplainStmt(self._parse_select(), analyze=analyze)
+        if token.matches_keyword("ANALYZE"):
+            self._next()
+            return ast.UpdateStatisticsStmt(self._expect_ident())
         if token.matches_keyword("INSERT"):
             return self._parse_insert()
         if token.matches_keyword("DELETE"):
@@ -345,8 +349,10 @@ class Parser:
         select = self._parse_select()
         return ast.InsertStmt(table, columns, select=select)
 
-    def _parse_update(self) -> ast.UpdateStmt:
+    def _parse_update(self):
         self._expect_keyword("UPDATE")
+        if self._accept_keyword("STATISTICS"):
+            return ast.UpdateStatisticsStmt(self._expect_ident())
         table = self._expect_ident()
         self._expect_keyword("SET")
         assignments = []

@@ -58,6 +58,8 @@ class Table:
             BPlusTree(unique=True) if schema.primary_key else None
         )
         self._secondary: Dict[str, Tuple[Tuple[int, ...], BPlusTree]] = {}
+        #: optimizer statistics, populated by UPDATE STATISTICS / analyze()
+        self.statistics = None
 
     # -- inserts ---------------------------------------------------------------------
 
@@ -268,6 +270,27 @@ class Table:
             name: col_idxs
             for name, (col_idxs, _tree) in self._secondary.items()
         }
+
+    # -- statistics ------------------------------------------------------------------
+
+    def analyze(self, buckets: Optional[int] = None,
+                mcv_size: Optional[int] = None):
+        """Collect fresh optimizer statistics from a full scan (the
+        engine behind ``UPDATE STATISTICS <table>``)."""
+        from .optimizer.statistics import (
+            DEFAULT_BUCKETS,
+            DEFAULT_MCV,
+            collect_table_statistics,
+        )
+
+        previous = self.statistics
+        self.statistics = collect_table_statistics(
+            self,
+            buckets=buckets if buckets is not None else DEFAULT_BUCKETS,
+            mcv_size=mcv_size if mcv_size is not None else DEFAULT_MCV,
+            version=(previous.version + 1) if previous is not None else 1,
+        )
+        return self.statistics
 
     def has_index_on(self, columns: Sequence[str]) -> bool:
         """True when the PK or a secondary index leads with ``columns``."""

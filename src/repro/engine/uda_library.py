@@ -1,0 +1,189 @@
+"""Statistical and string user-defined aggregates (the UDA library).
+
+(Formerly ``repro.engine.statistics``; renamed because these are
+aggregate *functions* — the optimizer's table statistics now own that
+name under :mod:`repro.engine.optimizer.statistics`.)
+
+Section 2.3.4: "CLR UDAs give users the ability to write their own
+aggregates ... Some common cases include aggregates for string
+processing, and statistical or mathematical computations." These are
+those common cases, written against the same UDA contract the genomics
+aggregates use — and, like built-ins, all of them are *parallel-safe*:
+their partial states merge, so the exchange operator can split them
+across partitions.
+
+- ``STDEV`` / ``VAR`` — sample standard deviation / variance via
+  Welford's online algorithm (numerically stable, mergeable);
+- ``MEDIAN`` — exact median (buffers values; documented O(n) state);
+- ``STRING_AGG`` — ordered-input string concatenation;
+- ``GEOMEAN`` — geometric mean (log-domain accumulation), the natural
+  aggregate for the per-base error probabilities of Section 6.1.
+
+``register_statistics(db)`` installs all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional
+
+from .udf import UserDefinedAggregate
+
+
+class _WelfordState:
+    """Mergeable running mean/M2 (Chan et al. parallel variant)."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "_WelfordState") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self.m2 = other.count, other.mean, other.m2
+            return
+        delta = other.mean - self.mean
+        total = self.count + other.count
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+
+    def variance(self) -> Optional[float]:
+        if self.count < 2:
+            return None
+        return self.m2 / (self.count - 1)
+
+
+class VarUda(UserDefinedAggregate):
+    """Sample variance (T-SQL ``VAR``); NULL for fewer than 2 values."""
+
+    name = "VAR"
+    arity = 1
+    parallel_safe = True
+
+    def init(self) -> None:
+        self._state = _WelfordState()
+
+    def accumulate(self, value: Any) -> None:
+        if value is not None:
+            self._state.add(float(value))
+
+    def merge(self, other: "VarUda") -> None:
+        self._state.merge(other._state)
+
+    def terminate(self) -> Optional[float]:
+        return self._state.variance()
+
+
+class StdevUda(VarUda):
+    """Sample standard deviation (T-SQL ``STDEV``)."""
+
+    name = "STDEV"
+
+    def terminate(self) -> Optional[float]:
+        variance = self._state.variance()
+        return math.sqrt(variance) if variance is not None else None
+
+
+class MedianUda(UserDefinedAggregate):
+    """Exact median. Buffers all values — O(n) aggregate state, the
+    honest cost of an exact holistic aggregate."""
+
+    name = "MEDIAN"
+    arity = 1
+    parallel_safe = True
+
+    def init(self) -> None:
+        self._values: List[float] = []
+
+    def accumulate(self, value: Any) -> None:
+        if value is not None:
+            self._values.append(float(value))
+
+    def merge(self, other: "MedianUda") -> None:
+        self._values.extend(other._values)
+
+    def terminate(self) -> Optional[float]:
+        if not self._values:
+            return None
+        self._values.sort()
+        n = len(self._values)
+        middle = n // 2
+        if n % 2:
+            return self._values[middle]
+        return (self._values[middle - 1] + self._values[middle]) / 2.0
+
+
+class StringAggUda(UserDefinedAggregate):
+    """``STRING_AGG(value)`` with a comma separator, in arrival order.
+
+    Declared order-sensitive: merging partial states would interleave
+    partitions arbitrarily, so the planner keeps it serial/ordered —
+    the same contract knob ``AssembleConsensus`` uses.
+    """
+
+    name = "STRING_AGG"
+    arity = 1
+    parallel_safe = False
+    requires_ordered_input = True
+
+    separator = ","
+
+    def init(self) -> None:
+        self._parts: List[str] = []
+
+    def accumulate(self, value: Any) -> None:
+        if value is not None:
+            self._parts.append(str(value))
+
+    def merge(self, other: "StringAggUda") -> None:
+        self._parts.extend(other._parts)
+
+    def terminate(self) -> Optional[str]:
+        return self.separator.join(self._parts) if self._parts else None
+
+
+class GeoMeanUda(UserDefinedAggregate):
+    """Geometric mean over positive values (log-domain sum)."""
+
+    name = "GEOMEAN"
+    arity = 1
+    parallel_safe = True
+
+    def init(self) -> None:
+        self._log_sum = 0.0
+        self._count = 0
+
+    def accumulate(self, value: Any) -> None:
+        if value is None:
+            return
+        number = float(value)
+        if number <= 0:
+            raise ValueError("GEOMEAN requires positive values")
+        self._log_sum += math.log(number)
+        self._count += 1
+
+    def merge(self, other: "GeoMeanUda") -> None:
+        self._log_sum += other._log_sum
+        self._count += other._count
+
+    def terminate(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return math.exp(self._log_sum / self._count)
+
+
+def register_statistics(database) -> None:
+    """Install the statistical/string UDAs on a database."""
+    for uda in (VarUda, StdevUda, MedianUda, StringAggUda, GeoMeanUda):
+        database.register_uda(uda)

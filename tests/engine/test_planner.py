@@ -116,30 +116,28 @@ class TestAggregationStrategy:
         assert "Parallelism" not in plan
 
     def test_large_input_goes_parallel(self, db):
-        import repro.engine.planner as planner_module
-
-        old = planner_module.PARALLEL_AGG_THRESHOLD
-        planner_module.PARALLEL_AGG_THRESHOLD = 10
+        # shrink the exchange startup cost so the parallel plan's
+        # crossover drops below this fixture's 30 rows
+        old = db._planner.cost.exchange_startup_cost
+        db._planner.cost.exchange_startup_cost = 1.0
         try:
             plan = db.explain(
                 "SELECT store, COUNT(*) FROM orders GROUP BY store"
             )
             assert "Repartition Streams" in plan
         finally:
-            planner_module.PARALLEL_AGG_THRESHOLD = old
+            db._planner.cost.exchange_startup_cost = old
 
     def test_maxdop_one_disables_parallelism(self, db):
-        import repro.engine.planner as planner_module
-
-        old = planner_module.PARALLEL_AGG_THRESHOLD
-        planner_module.PARALLEL_AGG_THRESHOLD = 10
+        old = db._planner.cost.exchange_startup_cost
+        db._planner.cost.exchange_startup_cost = 1.0
         try:
             plan = db.explain(
                 "SELECT store, COUNT(*) FROM orders GROUP BY store OPTION (MAXDOP 1)"
             )
             assert "Repartition Streams" not in plan
         finally:
-            planner_module.PARALLEL_AGG_THRESHOLD = old
+            db._planner.cost.exchange_startup_cost = old
 
     def test_group_on_clustered_prefix_streams(self, db):
         plan = db.explain(

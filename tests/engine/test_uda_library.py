@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.engine import Database
-from repro.engine.statistics import (
+from repro.engine.uda_library import (
     GeoMeanUda,
     MedianUda,
     StdevUda,
@@ -15,6 +15,17 @@ from repro.engine.statistics import (
     VarUda,
     register_statistics,
 )
+
+
+def test_deprecated_statistics_module_still_reexports():
+    import importlib
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = importlib.import_module("repro.engine.statistics")
+    assert legacy.StdevUda is StdevUda
+    assert legacy.register_statistics is register_statistics
 
 
 @pytest.fixture
@@ -122,35 +133,22 @@ class TestMerge:
 
 class TestParallelPlanIntegration:
     def test_stdev_parallelises(self, db):
-        # force a parallel plan and check the merged result is correct
-        import repro.engine.planner as planner_module
-
-        old = planner_module.PARALLEL_AGG_THRESHOLD
-        planner_module.PARALLEL_AGG_THRESHOLD = 1
-        try:
-            plan = db.explain(
+        # an explicit MAXDOP hint opts into the parallel plan regardless
+        # of the cost model's cardinality estimate
+        plan = db.explain(
+            "SELECT grp, STDEV(v) FROM m GROUP BY grp OPTION (MAXDOP 4)"
+        )
+        assert "Repartition Streams" in plan
+        rows = dict(
+            db.query(
                 "SELECT grp, STDEV(v) FROM m GROUP BY grp OPTION (MAXDOP 4)"
             )
-            assert "Repartition Streams" in plan
-            rows = dict(
-                db.query(
-                    "SELECT grp, STDEV(v) FROM m GROUP BY grp OPTION (MAXDOP 4)"
-                )
-            )
-            assert rows["a"] == pytest.approx(statistics.stdev([2, 4, 6]))
-        finally:
-            planner_module.PARALLEL_AGG_THRESHOLD = old
+        )
+        assert rows["a"] == pytest.approx(statistics.stdev([2, 4, 6]))
 
     def test_string_agg_never_parallelises(self, db):
-        import repro.engine.planner as planner_module
-
-        old = planner_module.PARALLEL_AGG_THRESHOLD
-        planner_module.PARALLEL_AGG_THRESHOLD = 1
-        try:
-            plan = db.explain(
-                "SELECT grp, STRING_AGG(v) FROM m GROUP BY grp OPTION (MAXDOP 4)"
-            )
-            assert "Repartition Streams" not in plan
-            assert "Stream Aggregate" in plan
-        finally:
-            planner_module.PARALLEL_AGG_THRESHOLD = old
+        plan = db.explain(
+            "SELECT grp, STRING_AGG(v) FROM m GROUP BY grp OPTION (MAXDOP 4)"
+        )
+        assert "Repartition Streams" not in plan
+        assert "Stream Aggregate" in plan
