@@ -13,7 +13,7 @@ import uuid
 
 import pytest
 
-from bench_common import SCALE, save_report
+from bench_common import SCALE, save_bench_json, save_report
 from repro.core.wrappers import ChunkedBlobReader, parse_fastq_entry
 from repro.engine import Database
 from repro.genomics.fastq import fastq_bytes
@@ -88,6 +88,24 @@ def test_ablation_chunks_report(benchmark, blob):
         "the paper's 'scan through the file in larger chunks' design point."
     )
     save_report("ablation_chunks.txt", "\n".join(lines))
+    save_bench_json(
+        "ablation_chunks",
+        wall_time=results[256 << 10][0],
+        rows=N_READS,
+        counters={
+            "payload_bytes": payload_size,
+            "filestream_chunk_reads": db.filestream.io.get("chunk_reads", 0),
+        },
+        extra={
+            "sweep": {
+                str(chunk_size): {
+                    "elapsed_s": round(elapsed, 6),
+                    "chunks": chunks,
+                }
+                for chunk_size, (elapsed, chunks) in results.items()
+            },
+        },
+    )
 
     smallest = results[CHUNK_SIZES[0]][0]
     sweet_spot = results[256 << 10][0]

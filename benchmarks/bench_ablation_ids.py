@@ -13,7 +13,7 @@ Report: ``benchmarks/results/ablation_ids.txt``.
 
 import pytest
 
-from bench_common import save_report
+from bench_common import save_bench_json, save_report
 from repro.engine import Database
 
 N_ROWS = 20_000
@@ -96,6 +96,20 @@ def test_ablation_ids_report(benchmark):
         "synthetic key is constant-size — the normalization payoff of §5.1."
     )
     save_report("ablation_ids.txt", "\n".join(lines))
+    save_bench_json(
+        "ablation_ids",
+        rows=N_ROWS,
+        extra={
+            "sweep": {
+                str(length): {
+                    "textual_bytes": textual,
+                    "synthetic_bytes": synthetic,
+                    "ratio": round(textual / synthetic, 3),
+                }
+                for length, (textual, synthetic) in sorted(results.items())
+            },
+        },
+    )
 
     for length, (textual, synthetic) in results.items():
         assert textual > synthetic

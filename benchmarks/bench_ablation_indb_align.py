@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from bench_common import SCALE, save_report
+from bench_common import SCALE, save_bench_json, save_report
 from repro.baselines.maq_tool import MaqTool
 from repro.core import GenomicsWarehouse, register_alignment_extensions
 from repro.genomics.fasta import write_fasta
@@ -129,6 +129,22 @@ def test_ablation_indb_align_report(
         "identical aligner core)",
     ]
     save_report("ablation_indb_align.txt", "\n".join(lines))
+    save_bench_json(
+        "ablation_indb_align",
+        wall_time=indb_elapsed,
+        rows=indb_count,
+        counters={
+            "external_alignments": ext_count,
+            "intermediate_bytes": intermediates,
+        },
+        extra={
+            "external_total_s": round(ext_total, 6),
+            "external_stages_s": {
+                stage: round(seconds, 6)
+                for stage, seconds in ext_timings.items()
+            },
+        },
+    )
 
     # same placements from both paths
     assert abs(indb_count - ext_count) <= N_READS * 0.01

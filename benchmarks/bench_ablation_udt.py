@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from bench_common import SCALE, save_report
+from bench_common import SCALE, save_bench_json, save_report
 from repro.core.wrappers import register_extensions
 from repro.engine import Database
 
@@ -103,6 +103,21 @@ def test_ablation_udt_report(benchmark, reads):
         "ratio); decode cost shows up in the cold scan, disappears warm.",
     ]
     save_report("ablation_udt.txt", "\n".join(lines))
+    save_bench_json(
+        "ablation_udt",
+        rows=len(reads),
+        counters={
+            "varchar_bytes": varchar["bytes"],
+            "udt_bytes": udt["bytes"],
+            "raw_sequence_bytes": seq_bytes,
+        },
+        extra={
+            "varchar_cold_scan_s": round(varchar["cold_scan"], 6),
+            "varchar_warm_scan_s": round(varchar["warm_scan"], 6),
+            "udt_cold_scan_s": round(udt["cold_scan"], 6),
+            "udt_warm_scan_s": round(udt["warm_scan"], 6),
+        },
+    )
 
     assert udt["bytes"] < varchar["bytes"]
     # the sequence payload itself must shrink to ~1/4 + header

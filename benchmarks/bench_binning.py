@@ -27,9 +27,9 @@ import time
 
 import pytest
 
-from bench_common import save_report
+from bench_common import save_bench_json, save_report
 from repro.baselines.perl_binning import run_binning_script
-from repro.baselines.trace import ResourceTrace
+from repro.baselines.trace import trace_from_parallel_stats
 from repro.core import queries
 from repro.engine.executor import ParallelHashAggregate
 
@@ -119,31 +119,10 @@ def test_f7f8_s532_report(benchmark, lane_file, dge_warehouse, dge_reads):
     # Figure 7: the script's sequential trace
     save_report("figure7_script_trace.txt", script_trace.render())
 
-    # Figure 8: the parallel plan's profile
-    sql_trace = ResourceTrace(label="SQL Query 1 (parallel plan)", cores=4)
-    now = 0.0
-    sql_trace.add_phase(
-        "scan", now, now + stats.scan_time, busy_cores=4,
-        detail="parallel clustered index seek + filter",
-    )
-    now += stats.scan_time
-    sql_trace.add_phase(
-        "repartition", now, now + stats.partition_time, busy_cores=4,
-        detail="hash on group key",
-    )
-    now += stats.partition_time
-    agg_span = max(stats.partition_agg_times) if stats.partition_agg_times else 0
-    busy = (
-        sum(stats.partition_agg_times) / agg_span if agg_span > 0 else 4
-    )
-    sql_trace.add_phase(
-        "aggregate", now, now + agg_span, busy_cores=min(busy, 4),
-        detail="partial hash aggregates, one per worker",
-    )
-    now += agg_span
-    sql_trace.add_phase(
-        "gather+rank", now, now + stats.gather_time + 0.001, busy_cores=1,
-        detail="gather streams, ROW_NUMBER",
+    # Figure 8: the parallel plan's profile, straight from the exchange
+    # operator's measured phase timings
+    sql_trace = trace_from_parallel_stats(
+        "SQL Query 1 (parallel plan)", stats, cores=4
     )
     save_report("figure8_sql_trace.txt", sql_trace.render())
 
@@ -167,6 +146,23 @@ def test_f7f8_s532_report(benchmark, lane_file, dge_warehouse, dge_reads):
         f"(paper Figure 7: ~25%)",
     ]
     save_report("binning_s532.txt", "\n".join(lines))
+    save_bench_json(
+        "binning_s532",
+        wall_time=sql_measured,
+        rows=len(sql_rows),
+        counters={
+            "rows_in": stats.rows_in,
+            "rows_out": stats.rows_out,
+            "scan_time_s": round(stats.scan_time, 6),
+            "partition_time_s": round(stats.partition_time, 6),
+            "gather_time_s": round(stats.gather_time, 6),
+        },
+        extra={
+            "script_time_s": round(script_trace.total_time, 6),
+            "simulated_wall_s": round(simulated, 6),
+            "script_mean_cpu": round(script_trace.mean_utilization(), 4),
+        },
+    )
 
     # shape assertions: the parallel query beats the sequential script
     assert simulated < script_trace.total_time

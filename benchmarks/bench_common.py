@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any, Dict, Optional
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
@@ -22,4 +24,32 @@ def save_report(name: str, text: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def save_bench_json(
+    name: str,
+    wall_time: Optional[float] = None,
+    rows: Optional[int] = None,
+    counters: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Persist one benchmark's machine-readable result as
+    ``BENCH_<name>.json`` so CI can archive the perf trajectory.
+
+    ``counters`` takes key engine/IO counters (logical reads, bytes,
+    exchange timings); ``extra`` takes benchmark-specific fields.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload: Dict[str, Any] = {"name": name, "scale": SCALE}
+    if wall_time is not None:
+        payload["wall_time_s"] = round(float(wall_time), 6)
+    if rows is not None:
+        payload["rows"] = int(rows)
+    if counters:
+        payload["counters"] = dict(counters)
+    if extra:
+        payload.update(extra)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -26,7 +26,7 @@ import time
 
 import pytest
 
-from bench_common import save_report
+from bench_common import save_bench_json, save_report
 from repro.core import GenomicsWarehouse, queries
 from repro.engine.executor import CrossApply, MergeJoin
 
@@ -161,6 +161,21 @@ def test_s533_report(benchmark, read_clustered, reseq_warehouse):
         "   capable sequence type; scaled down here)",
     ]
     save_report("consensus_s533.txt", "\n".join(lines))
+    save_bench_json(
+        "consensus_s533",
+        wall_time=results["merge_elapsed"],
+        rows=results["joined"],
+        counters={
+            "merge_rate_rows_per_s": round(results["merge_rate"], 1),
+            "pivot_intermediate_rows": results["pivot_intermediate"],
+            "consensus_bytes": results["consensus_bytes"],
+        },
+        extra={
+            "pivot_elapsed_s": round(results["pivot_elapsed"], 6),
+            "sliding_elapsed_s": round(results["sliding_elapsed"], 6),
+            "chromosomes": results["chromosomes"],
+        },
+    )
 
     # shape assertions
     assert results["sliding_elapsed"] < results["pivot_elapsed"]

@@ -23,7 +23,7 @@ import uuid
 
 import pytest
 
-from bench_common import SCALE, save_report
+from bench_common import SCALE, save_bench_json, save_report
 from repro.core.filewrap import (
     count_records_chunked,
     count_records_command_line,
@@ -149,6 +149,21 @@ def test_s52_report(benchmark, setup):
         "Paper:   ~5s | several minutes | 21s | 7s | 14s  (5,028,052 lines)"
     )
     save_report("filewrap_s52.txt", "\n".join(lines))
+    fs_io = db.filestream.io
+    save_bench_json(
+        "filewrap_s52",
+        wall_time=timings["Stored procedure, chunking"],
+        rows=N_RECORDS,
+        counters={
+            "filestream_chunk_reads": fs_io.get("chunk_reads", 0),
+            "filestream_bytes_read": fs_io.get("bytes_read", 0),
+            "filestream_prefetch_hits": fs_io.get("prefetch_hits", 0),
+            "filestream_prefetch_misses": fs_io.get("prefetch_misses", 0),
+        },
+        extra={
+            "timings_s": {k: round(v, 6) for k, v in timings.items()},
+        },
+    )
 
     # the architectural ordering must hold
     assert timings["T-SQL-style interpreted procedure"] > timings[

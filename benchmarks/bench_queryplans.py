@@ -19,7 +19,7 @@ Reports: ``benchmarks/results/figure9_query1_plan.txt`` and
 
 import pytest
 
-from bench_common import save_report
+from bench_common import save_bench_json, save_report
 from repro.core import GenomicsWarehouse, queries
 
 
@@ -111,11 +111,19 @@ def test_estimates_track_actuals(reseq_warehouse):
         pass
     assert "actual rows=" in op.explain(analyze=True)
     checked = 0
+    worst_drift = 1.0
     for node in _walk_ops(op):
         if list(node.children()) or node.est_rows is None:
             continue  # drift is judged at the leaves (access paths)
         est, actual = node.est_rows, node.rows_out
         assert est <= max(actual, 1) * 4, (node, est, actual)
         assert actual <= max(est, 1) * 4, (node, est, actual)
+        drift = max(est, 1) / max(actual, 1)
+        worst_drift = max(worst_drift, drift, 1 / drift)
         checked += 1
     assert checked > 0
+    save_bench_json(
+        "queryplans",
+        counters={"leaves_checked": checked},
+        extra={"worst_leaf_drift": round(worst_drift, 3)},
+    )

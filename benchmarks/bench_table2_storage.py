@@ -17,7 +17,7 @@ recovers the sequence-payload savings the paper projects.
 
 import pytest
 
-from bench_common import save_report
+from bench_common import save_bench_json, save_report
 from repro.core.storage_report import ScenarioData, format_table, measure_storage
 
 
@@ -44,6 +44,14 @@ def test_table2_report(benchmark, scenario, tmp_path_factory):
         "- 1000 Genomes Re-sequencing",
     )
     save_report("table2_storage.txt", text)
+    save_bench_json(
+        "table2_storage",
+        counters={
+            section + "_" + design: size
+            for section, designs in storage_table.items()
+            for design, size in designs.items()
+        },
+    )
 
     reads = storage_table["short_reads"]
     alignments = storage_table["alignments"]

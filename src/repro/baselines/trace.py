@@ -6,37 +6,66 @@ box) with the parallel SQL plan (all cores busy). We record the same
 story as *phase traces*: each phase has a wall-clock span and a CPU
 utilisation (cores busy ÷ cores available), and the renderer draws the
 text equivalent of the paper's perfmon screenshots.
+
+Built on the engine's span model (:mod:`repro.engine.metrics`), so the
+script-side traces here and the operator/exchange timings inside the
+engine come from one instrumentation source — a :class:`Phase` *is* a
+:class:`~repro.engine.metrics.Span` with a utilisation attribute, and a
+:class:`ResourceTrace` is a :class:`~repro.engine.metrics.SpanTimeline`.
+:func:`trace_from_parallel_stats` converts an exchange operator's
+measured :class:`~repro.engine.executor.parallel.ParallelStats` into the
+same trace shape, which is how the Figure 8 chart is produced.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+from repro.engine.metrics import Span, SpanTimeline
 
 
-@dataclass
-class Phase:
-    name: str
-    start: float
-    end: float
-    #: fraction of the machine's cores kept busy (0..1]
-    utilization: float
-    detail: str = ""
+class Phase(Span):
+    """One trace phase: a span carrying CPU utilisation and a note."""
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        utilization: float,
+        detail: str = "",
+    ):
+        super().__init__(
+            name, start, end, {"utilization": utilization, "detail": detail}
+        )
 
     @property
-    def duration(self) -> float:
-        return self.end - self.start
+    def utilization(self) -> float:
+        return self.attrs["utilization"]
+
+    @property
+    def detail(self) -> str:
+        return self.attrs["detail"]
 
 
-@dataclass
-class ResourceTrace:
+class ResourceTrace(SpanTimeline):
     """An ordered list of phases for one program run."""
 
-    label: str
-    cores: int = 4
-    phases: List[Phase] = field(default_factory=list)
-    _origin: Optional[float] = None
+    def __init__(
+        self,
+        label: str,
+        cores: int = 4,
+        phases: Optional[Sequence[Phase]] = None,
+    ):
+        super().__init__(label)
+        self.cores = cores
+        if phases:
+            self.spans.extend(phases)
+
+    @property
+    def phases(self) -> List[Phase]:
+        return self.spans
 
     def record(self, name: str, busy_cores: float = 1.0, detail: str = ""):
         """Context manager timing one phase::
@@ -56,7 +85,7 @@ class ResourceTrace:
     ) -> None:
         if self._origin is None:
             self._origin = start
-        self.phases.append(
+        self.spans.append(
             Phase(
                 name,
                 start - self._origin,
@@ -68,7 +97,7 @@ class ResourceTrace:
 
     @property
     def total_time(self) -> float:
-        return self.phases[-1].end if self.phases else 0.0
+        return self.spans[-1].end if self.spans else 0.0
 
     def mean_utilization(self) -> float:
         total = self.total_time
@@ -120,3 +149,39 @@ class _PhaseRecorder:
             self._detail,
         )
         return False
+
+
+def trace_from_parallel_stats(label, stats, cores: int = 4) -> ResourceTrace:
+    """Build the Figure-8-style trace from an exchange operator's
+    measured :class:`~repro.engine.executor.parallel.ParallelStats`.
+
+    Scan and repartition are data-parallel (all workers busy); the
+    aggregate phase spans the slowest partition with utilisation equal
+    to total worker time ÷ span; the gather is serial.
+    """
+    trace = ResourceTrace(label=label, cores=cores)
+    now = 0.0
+    trace.add_phase(
+        "scan", now, now + stats.scan_time, busy_cores=cores,
+        detail="parallel clustered index seek + filter",
+    )
+    now += stats.scan_time
+    trace.add_phase(
+        "repartition", now, now + stats.partition_time, busy_cores=cores,
+        detail="hash on group key",
+    )
+    now += stats.partition_time
+    agg_span = max(stats.partition_agg_times) if stats.partition_agg_times else 0
+    busy = (
+        sum(stats.partition_agg_times) / agg_span if agg_span > 0 else cores
+    )
+    trace.add_phase(
+        "aggregate", now, now + agg_span, busy_cores=min(busy, cores),
+        detail="partial hash aggregates, one per worker",
+    )
+    now += agg_span
+    trace.add_phase(
+        "gather+rank", now, now + stats.gather_time + 0.001, busy_cores=1,
+        detail="gather streams, ROW_NUMBER",
+    )
+    return trace

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the lab loop a downstream user runs:
+Five subcommands cover the lab loop a downstream user runs:
 
 - ``simulate`` — generate a synthetic reference genome, gene annotation,
   and a level-1 FASTQ lane (DGE or re-sequencing statistics);
@@ -9,7 +9,9 @@ Four subcommands cover the lab loop a downstream user runs:
   the result files;
 - ``storage-report`` — measure a lane under every physical design and
   print the Table-1/2-style comparison;
-- ``search`` — q-gram search for a pattern over a lane's reads.
+- ``search`` — q-gram search for a pattern over a lane's reads;
+- ``metrics`` — run SQL with ``SET STATISTICS TIME/IO ON`` and dump the
+  engine's DMV-style system views (or Prometheus exposition text).
 
 Example::
 
@@ -240,6 +242,67 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+#: workload run by ``metrics`` when no --sql is given: enough DDL/DML to
+#: populate every counter family (heap, index, aggregate execution)
+_METRICS_DEMO = (
+    "CREATE TABLE Read (r_id INT PRIMARY KEY, tile INT, seq VARCHAR(40))",
+    "INSERT INTO Read VALUES "
+    "(1, 1, 'ACGTACGT'), (2, 1, 'TTGACCAA'), (3, 2, 'ACGTTTTT'), "
+    "(4, 2, 'GGGGACGT'), (5, 3, 'CCCCCCCC')",
+    "SELECT tile, COUNT(*) FROM Read GROUP BY tile ORDER BY tile",
+    "SELECT seq FROM Read WHERE r_id = 3",
+)
+
+
+def _print_view(db, view_name: str) -> None:
+    columns = [c.name for c in db.catalog.table(view_name).schema.columns]
+    rows = db.query(f"SELECT * FROM {view_name}")
+    print(view_name)
+    print("-" * len(view_name))
+    print("  " + " | ".join(columns))
+    for row in rows:
+        print("  " + " | ".join(str(v) for v in row))
+    print()
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .engine import Database
+    from .engine.errors import EngineError
+
+    with Database() as db:
+        db.execute("SET STATISTICS TIME ON")
+        db.execute("SET STATISTICS IO ON")
+        for sql in args.sql or _METRICS_DEMO:
+            print(f"> {sql}")
+            try:
+                result = db.execute(sql)
+            except EngineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            for message in db.messages:
+                print(f"  {message}")
+            if hasattr(result, "rows"):
+                for row in result.rows[: args.limit]:
+                    print(f"  {row}")
+        print()
+        db.execute("SET STATISTICS TIME OFF")
+        db.execute("SET STATISTICS IO OFF")
+        if args.format == "prometheus":
+            print(db.metrics_prometheus(), end="")
+        else:
+            for view_name in (
+                "sys_dm_exec_query_stats",
+                "sys_dm_db_index_stats",
+                "sys_dm_io_stats",
+            ):
+                _print_view(db, view_name)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
 
@@ -293,6 +356,26 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--mismatches", type=int, default=0)
     search.add_argument("--limit", type=int, default=10)
     search.set_defaults(func=cmd_search)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run SQL under SET STATISTICS and dump the system views",
+    )
+    metrics.add_argument(
+        "--sql",
+        action="append",
+        help="statement to run (repeatable; default: a demo workload)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("views", "prometheus"),
+        default="views",
+        help="dump the DMV-style views or Prometheus exposition text",
+    )
+    metrics.add_argument(
+        "--limit", type=int, default=10, help="result rows shown per query"
+    )
+    metrics.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -20,6 +20,9 @@ class Catalog:
 
     def __init__(self, filestream_store: Optional[FileStreamStore] = None):
         self._tables: Dict[str, Table] = {}
+        #: read-only virtual tables (system views); resolved by table()
+        #: after real tables, never listed by tables()/table_names()
+        self._views: Dict[str, object] = {}
         self.functions = FunctionLibrary()
         self.filestream_store = filestream_store
 
@@ -44,13 +47,28 @@ class Catalog:
         del self._tables[key]
 
     def table(self, name: str) -> Table:
+        key = name.lower()
         try:
-            return self._tables[name.lower()]
+            return self._tables[key]
+        except KeyError:
+            pass
+        try:
+            return self._views[key]
         except KeyError:
             raise BindError(f"unknown table {name!r}") from None
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        key = name.lower()
+        return key in self._tables or key in self._views
+
+    # -- system views -----------------------------------------------------------------
+
+    def register_view(self, name: str, view: object) -> None:
+        """Register a read-only virtual table (DMV-style system view).
+
+        A real table with the same name shadows the view, so user schemas
+        never break when new system views appear."""
+        self._views[name.lower()] = view
 
     def tables(self) -> Iterator[Table]:
         return iter(self._tables.values())

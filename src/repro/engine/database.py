@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 import uuid
 from pathlib import Path
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Type
@@ -25,6 +26,7 @@ from .errors import BindError, ConstraintViolation, EngineError
 from .executor import MaterializedResult, PhysicalOperator
 from .expressions import ColumnRef, ExpressionCompiler
 from .filestream import FileStreamStore
+from .metrics import Counters, MetricsRegistry, make_system_views
 from .planner import Planner, make_binder
 from .schema import Column, ForeignKey, TableSchema
 from .sql import ast
@@ -100,6 +102,15 @@ class Database:
         self._planner = Planner(self)
         self._enforce_foreign_keys = True
         self._procedures = None
+        #: per-query execution stats, queryable via the sys_dm_* views
+        self.metrics = MetricsRegistry()
+        #: SET STATISTICS TIME/IO session knobs
+        self.statistics_time = False
+        self.statistics_io = False
+        #: per-execute() informational messages (the "Messages" tab)
+        self.messages: List[str] = []
+        for view_name, view in make_system_views(self).items():
+            self.catalog.register_view(view_name, view)
         self._register_builtin_overrides()
 
     def close(self) -> None:
@@ -169,12 +180,76 @@ class Database:
         """Execute a SQL script; returns the last statement's result.
 
         SELECT → :class:`MaterializedResult`; EXPLAIN → plan text;
-        DML/DDL → affected row count.
+        DML/DDL → affected row count. Per-statement summaries requested
+        via ``SET STATISTICS TIME/IO ON`` land in :attr:`messages`.
         """
+        self.messages = []
         result: Any = None
         for stmt in parse_sql(sql):
-            result = self._execute_statement(stmt)
+            result = self._execute_tracked(stmt)
         return result
+
+    def _execute_tracked(self, stmt) -> Any:
+        """Execute one statement, recording wall-clock time and the IO
+        it caused into the metrics registry (and, when the session knobs
+        are on, into :attr:`messages`)."""
+        if isinstance(stmt, ast.SetStatisticsStmt):
+            return self._execute_statement(stmt)
+        per_table_before = (
+            {t.schema.name: t.io_report() for t in self.catalog.tables()}
+            if self.statistics_io
+            else None
+        )
+        io_before = self._io_totals()
+        start = time.perf_counter()
+        result = self._execute_statement(stmt)
+        elapsed = time.perf_counter() - start
+        io_delta = Counters.delta(self._io_totals(), io_before)
+        if isinstance(result, MaterializedResult):
+            rows = len(result)
+        elif isinstance(result, int):
+            rows = result
+        else:
+            rows = 0
+        sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
+        kind = type(stmt).__name__.removesuffix("Stmt").upper()
+        self.metrics.record_statement(sql_text, kind, elapsed, rows, io_delta)
+        if per_table_before is not None:
+            for table in self.catalog.tables():
+                delta = Counters.delta(
+                    table.io_report(),
+                    per_table_before.get(table.schema.name, {}),
+                )
+                if delta:
+                    logical = delta.get("pages_read", 0) + delta.get(
+                        "index_node_visits", 0
+                    )
+                    self.messages.append(
+                        f"Table {table.schema.name!r}. "
+                        f"Scan count {delta.get('scans', 0)}, "
+                        f"logical reads {logical}, "
+                        f"page cache misses "
+                        f"{delta.get('page_cache_misses', 0)}."
+                    )
+        if self.statistics_time:
+            self.messages.append(
+                f"Execution Times: elapsed time = {elapsed * 1000.0:.3f} ms."
+            )
+        return result
+
+    def _io_totals(self) -> Counters:
+        """Database-wide IO counters: every table's heap + indexes, plus
+        the FILESTREAM store (prefixed). Feeds sys_dm_io_stats and the
+        per-statement deltas the metrics registry records."""
+        totals = Counters()
+        for table in self.catalog.tables():
+            totals.merge(table.io_report())
+        totals.merge(self.filestream.io, prefix="filestream_")
+        return totals
+
+    def metrics_prometheus(self) -> str:
+        """The registry + IO totals as Prometheus exposition text."""
+        return self.metrics.prometheus_text(self._io_totals())
 
     def query(self, sql: str) -> List[Tuple[Any, ...]]:
         """Execute a single SELECT and return its rows."""
@@ -208,6 +283,7 @@ class Database:
         """EXPLAIN ANALYZE: execute the plan to completion, then render
         it with estimated *and* actual row counts per operator."""
         op = self._planner.plan_select(select)
+        op.enable_timing()
         for _ in op:
             pass
         return op.explain(analyze=True)
@@ -231,6 +307,12 @@ class Database:
             return self._planner.explain_select(stmt.select)
         if isinstance(stmt, ast.UpdateStatisticsStmt):
             self.analyze_table(stmt.table)
+            return 0
+        if isinstance(stmt, ast.SetStatisticsStmt):
+            if stmt.option == "TIME":
+                self.statistics_time = stmt.enabled
+            else:
+                self.statistics_io = stmt.enabled
             return 0
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt)

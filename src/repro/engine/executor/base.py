@@ -12,12 +12,18 @@ Every operator exposes:
 
 Operators also count the rows they emit (``rows_out``) so EXPLAIN output
 and the benchmarks can report actual cardinalities, e.g. the size of the
-pivot plan's intermediate result in Section 5.3.3.
+pivot plan's intermediate result in Section 5.3.3.  A re-executed
+operator (the inner side of a nested-loops join or apply) additionally
+tracks ``loops`` and per-loop row counts, and — when EXPLAIN ANALYZE
+arms timing via :meth:`PhysicalOperator.enable_timing` — the inclusive
+wall-clock time spent producing its rows, Postgres-style.  Timing is off
+by default so plain execution stays on the untimed fast path.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Sequence, Tuple
+import time
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 
 class PhysicalOperator:
@@ -37,12 +43,50 @@ class PhysicalOperator:
 
     def __init__(self):
         self.rows_out = 0
+        #: completed + in-flight executions of this operator
+        self.loops = 0
+        #: rows emitted by each individual execution
+        self.loop_rows: List[int] = []
+        #: inclusive wall-clock seconds (self + children), all loops
+        self.elapsed = 0.0
+        self._timing = False
+
+    def enable_timing(self) -> None:
+        """Arm per-operator wall-clock timing on this subtree.
+
+        Kept opt-in (EXPLAIN ANALYZE) so the per-row clock reads never
+        tax ordinary execution."""
+        self._timing = True
+        for child in self.children():
+            child.enable_timing()
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        loop_index = self.loops
+        self.loops += 1
+        self.loop_rows.append(0)
+        emitted = 0
         iterator = self.execute()
-        for row in iterator:
-            self.rows_out += 1
-            yield row
+        try:
+            if not self._timing:
+                for row in iterator:
+                    emitted += 1
+                    yield row
+            else:
+                clock = time.perf_counter
+                while True:
+                    t0 = clock()
+                    try:
+                        row = next(iterator)
+                    except StopIteration:
+                        self.elapsed += clock() - t0
+                        break
+                    self.elapsed += clock() - t0
+                    emitted += 1
+                    yield row
+        finally:
+            # flush even when abandoned mid-stream (Top, semi-joins)
+            self.rows_out += emitted
+            self.loop_rows[loop_index] = emitted
 
     def execute(self) -> Iterator[Tuple[Any, ...]]:
         raise NotImplementedError
@@ -56,21 +100,37 @@ class PhysicalOperator:
     def children(self) -> Sequence["PhysicalOperator"]:
         return ()
 
+    def analyze_detail(self) -> Optional[str]:
+        """Extra per-operator EXPLAIN ANALYZE annotation, or None.
+
+        Exchange operators override this to report per-worker timing
+        without the base renderer knowing about workers."""
+        return None
+
     def explain(self, indent: int = 0, analyze: bool = False) -> str:
         """Render this subtree as an indented text plan.
 
         With ``analyze=True`` (EXPLAIN ANALYZE, after execution) each
-        node also reports the actual row count it produced."""
+        node also reports the actual row count, inclusive wall-clock
+        time, and number of executions (loops) it observed."""
         label, kids = self.explain_node()
         prefix = "  " * indent
         label_lines = label.split("\n")
         first = label_lines[0]
+        details: List[str] = []
         if self.est_rows is not None:
-            details = [f"est. rows={self.est_rows}"]
-            if analyze:
-                details.append(f"actual rows={self.rows_out}")
-            if self.est_cost is not None:
-                details.append(f"cost={self.est_cost:.1f}")
+            details.append(f"est. rows={self.est_rows}")
+        if analyze:
+            details.append(f"actual rows={self.rows_out}")
+            if self._timing:
+                details.append(f"time={self.elapsed * 1000.0:.3f}ms")
+            details.append(f"loops={self.loops}")
+            extra = self.analyze_detail()
+            if extra:
+                details.append(extra)
+        if self.est_rows is not None and self.est_cost is not None:
+            details.append(f"cost={self.est_cost:.1f}")
+        if details:
             first += f"  ({', '.join(details)})"
         lines = [prefix + "-> " + first]
         for continuation in label_lines[1:]:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..errors import ExecutionError
 from .aggregates import AggregateSpec
@@ -214,6 +214,17 @@ class ParallelHashAggregate(PhysicalOperator):
     def children(self):
         return (self.child,)
 
+    def analyze_detail(self):
+        stats = self.stats
+        if not stats.partition_agg_times:
+            return None
+        worker_ms = sum(stats.partition_agg_times) * 1000.0
+        return (
+            f"workers={len(stats.partition_agg_times)}, "
+            f"worker time={worker_ms:.3f}ms, "
+            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms"
+        )
+
     def explain_node(self):
         aggs = ", ".join(spec.describe() for spec in self.aggregates)
         label = (
@@ -287,6 +298,16 @@ class ParallelMergeUda(PhysicalOperator):
 
     def children(self):
         return (self.child,)
+
+    def analyze_detail(self):
+        stats = self.stats
+        if not stats.partition_agg_times:
+            return None
+        return (
+            f"group tasks={len(stats.partition_agg_times)}, "
+            f"task time={sum(stats.partition_agg_times) * 1000.0:.3f}ms, "
+            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms"
+        )
 
     def explain_node(self):
         return (

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import BinaryIO, Dict, Iterator, Optional
 
 from .errors import FileStreamError
+from .metrics import Counters
 
 #: default read-ahead window for SequentialAccess streaming (bytes)
 DEFAULT_PREFETCH = 1 << 20
@@ -49,6 +50,8 @@ class FileStreamStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._blobs: Dict[uuid.UUID, BlobInfo] = {}
         self._prefetch_cache: Dict[uuid.UUID, tuple] = {}
+        #: always-on IO counters: chunk reads, prefetch hits, bytes moved
+        self.io = Counters()
         self._recover_existing()
 
     def _recover_existing(self) -> None:
@@ -76,6 +79,8 @@ class FileStreamStore:
         with open(path, "wb") as handle:
             handle.write(data)
         self._blobs[guid] = BlobInfo(guid, path, len(data))
+        self.io.incr("blobs_created")
+        self.io.incr("bytes_written", len(data))
         return guid
 
     def create_from_file(
@@ -89,6 +94,8 @@ class FileStreamStore:
         path = self._path_for(guid)
         shutil.copyfile(source, path)
         self._blobs[guid] = BlobInfo(guid, path, path.stat().st_size)
+        self.io.incr("blobs_created")
+        self.io.incr("bytes_written", self._blobs[guid].length)
         return guid
 
     def open_for_write(self, guid: Optional[uuid.UUID] = None) -> tuple[uuid.UUID, BinaryIO]:
@@ -160,12 +167,15 @@ class FileStreamStore:
             raise FileStreamError("negative offset/length")
         if offset >= info.length:
             return 0
+        self.io.incr("chunk_reads")
         if sequential:
             data = self._sequential_read(info, offset, length, prefetch)
         else:
             with open(info.path, "rb") as handle:
                 handle.seek(offset)
                 data = handle.read(length)
+            self.io.incr("file_reads")
+        self.io.incr("bytes_read", len(data))
         buffer[buffer_offset : buffer_offset + len(data)] = data
         return len(data)
 
@@ -177,7 +187,10 @@ class FileStreamStore:
             win_start, win_data = window
             if win_start <= offset and offset + length <= win_start + len(win_data):
                 rel = offset - win_start
+                self.io.incr("prefetch_hits")
                 return win_data[rel : rel + length]
+        self.io.incr("prefetch_misses")
+        self.io.incr("file_reads")
         read_len = max(length, prefetch)
         with open(info.path, "rb") as handle:
             handle.seek(offset)

@@ -15,6 +15,7 @@ import bisect
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..errors import DuplicateKeyError, StorageError
+from ..metrics import Counters
 
 #: maximum keys per node before a split
 ORDER = 64
@@ -63,6 +64,8 @@ class BPlusTree:
         self._root = _Node(is_leaf=True)
         self._first_leaf = self._root
         self._count = 0  # number of (key, payload) pairs
+        #: always-on IO counters: seeks, node_visits, inserts
+        self.io = Counters()
 
     # -- public API ---------------------------------------------------------------
 
@@ -71,6 +74,7 @@ class BPlusTree:
 
     def insert(self, key: Tuple[Any, ...], payload: Any) -> None:
         okey = _orderable(key)
+        self.io.incr("inserts")
         split = self._insert(self._root, okey, key, payload)
         if split is not None:
             sep, right = split
@@ -189,9 +193,14 @@ class BPlusTree:
 
     def _leaf_for(self, okey: Tuple[Any, ...]) -> _Node:
         node = self._root
+        visited = 1
         while not node.is_leaf:
             i = bisect.bisect_right(node.keys, okey)
             node = node.children[i]
+            visited += 1
+        io = self.io
+        io.incr("seeks")
+        io.incr("node_visits", visited)
         return node
 
     def _insert(

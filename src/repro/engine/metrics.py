@@ -1,0 +1,374 @@
+"""Engine-wide observability: counters, spans, and the metrics registry.
+
+SQL Server exposes its execution telemetry through dynamic management
+views (``sys.dm_exec_query_stats``, ``sys.dm_db_index_usage_stats``,
+``sys.dm_io_virtual_file_stats``); the paper's evaluation leans on that
+introspection for its perfmon profiles (Figures 7/8) and actual-row plan
+screenshots (Figures 9/10).  This module is our equivalent:
+
+- :class:`Counters` — a dict of monotonically increasing integer
+  counters, cheap enough to stay always-on in the storage layer;
+- :class:`Span` / :class:`SpanTimeline` — the wall-clock span model
+  shared by operator timing, ``SET STATISTICS TIME``, and the
+  script-vs-SQL resource traces in :mod:`repro.baselines.trace`;
+- :class:`MetricsRegistry` — per-database retention of per-query
+  execution stats, surfaced as virtual system tables
+  (``sys_dm_exec_query_stats`` et al.) and as a Prometheus-style text
+  dump for external scraping;
+- :class:`VirtualTable` — a read-only table backed by a Python
+  callable, so the system views flow through the ordinary
+  planner/binder/scan machinery and observability is itself SQL.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import BindError
+from .schema import Column, TableSchema
+from .types import float_type, int_type, varchar_type
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+
+class Counters(dict):
+    """Monotonic integer counters, keyed by name.
+
+    A missing key reads as zero, so call sites never pre-declare the
+    counters they bump and read sites never guard against absence."""
+
+    def __missing__(self, key: str) -> int:
+        return 0
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self[key] = self.get(key, 0) + amount
+
+    def merge(self, other: Dict[str, int], prefix: str = "") -> None:
+        for key, value in other.items():
+            self.incr(prefix + key, value)
+
+    def snapshot(self) -> "Counters":
+        return Counters(self)
+
+    @staticmethod
+    def delta(after: Dict[str, int], before: Dict[str, int]) -> "Counters":
+        """Counters accumulated between two snapshots (zeros dropped)."""
+        out = Counters()
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                out[key] = diff
+        return out
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval with free-form attributes."""
+
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanTimeline:
+    """An ordered collection of spans sharing one time origin.
+
+    The first recorded span pins the origin; later spans are normalised
+    relative to it so timelines render from t=0 regardless of when the
+    process started."""
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.spans: List[Span] = []
+        self._origin: Optional[float] = None
+
+    def add_span(
+        self, name: str, start: float, end: float, **attrs: Any
+    ) -> Span:
+        if self._origin is None:
+            self._origin = start
+        span = Span(name, start - self._origin, end - self._origin, dict(attrs))
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        start = time.perf_counter()
+        try:
+            yield Span(name, 0.0, 0.0, dict(attrs))
+        finally:
+            self.add_span(name, start, time.perf_counter(), **attrs)
+
+    @property
+    def total_time(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(span.end for span in self.spans)
+
+
+# ---------------------------------------------------------------------------
+# per-query stats retention
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryStats:
+    """Aggregated execution statistics for one normalised query text."""
+
+    query_text: str
+    statement_kind: str
+    execution_count: int = 0
+    total_elapsed: float = 0.0
+    last_elapsed: float = 0.0
+    total_rows: int = 0
+    total_logical_reads: int = 0
+    total_pages_written: int = 0
+
+    def record(self, elapsed: float, rows: int, io: Dict[str, int]) -> None:
+        self.execution_count += 1
+        self.total_elapsed += elapsed
+        self.last_elapsed = elapsed
+        self.total_rows += rows
+        self.total_logical_reads += io.get("pages_read", 0) + io.get(
+            "index_node_visits", 0
+        )
+        self.total_pages_written += io.get("pages_written", 0)
+
+
+def normalize_query_text(sql: str) -> str:
+    """Collapse whitespace so formatting differences share one stats row."""
+    return " ".join(sql.split())
+
+
+class MetricsRegistry:
+    """Per-database retention of query, index, and IO statistics.
+
+    The registry only stores aggregates keyed by normalised query text —
+    the DMV model — so memory stays bounded by the number of distinct
+    statements, not the number of executions."""
+
+    def __init__(self, retain: int = 256):
+        self.retain = retain
+        self._queries: Dict[str, QueryStats] = {}
+
+    def record_statement(
+        self,
+        sql: str,
+        kind: str,
+        elapsed: float,
+        rows: int,
+        io: Dict[str, int],
+    ) -> QueryStats:
+        text = normalize_query_text(sql)
+        stats = self._queries.get(text)
+        if stats is None:
+            if len(self._queries) >= self.retain:
+                # DMV semantics: old entries age out; drop the oldest
+                oldest = next(iter(self._queries))
+                del self._queries[oldest]
+            stats = QueryStats(query_text=text, statement_kind=kind)
+            self._queries[text] = stats
+        stats.record(elapsed, rows, io)
+        return stats
+
+    def clear(self) -> None:
+        self._queries.clear()
+
+    def queries(self) -> List[QueryStats]:
+        return list(self._queries.values())
+
+    # -- system-view row sources ------------------------------------------------
+
+    def query_stats_rows(self) -> List[Tuple[Any, ...]]:
+        rows = []
+        for q in self._queries.values():
+            avg = q.total_elapsed / q.execution_count if q.execution_count else 0.0
+            rows.append(
+                (
+                    q.query_text,
+                    q.statement_kind,
+                    q.execution_count,
+                    round(q.total_elapsed * 1000.0, 3),
+                    round(avg * 1000.0, 3),
+                    round(q.last_elapsed * 1000.0, 3),
+                    q.total_rows,
+                    q.total_logical_reads,
+                    q.total_pages_written,
+                )
+            )
+        return rows
+
+    def prometheus_text(self, io_totals: Dict[str, int]) -> str:
+        """Render the registry as Prometheus exposition-format text."""
+        lines = [
+            "# HELP repro_engine_query_executions_total "
+            "Executions per normalised query text.",
+            "# TYPE repro_engine_query_executions_total counter",
+        ]
+        for q in self._queries.values():
+            label = q.query_text.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_engine_query_executions_total{{query="{label}"}} '
+                f"{q.execution_count}"
+            )
+        lines += [
+            "# HELP repro_engine_query_elapsed_seconds_total "
+            "Total wall-clock seconds per normalised query text.",
+            "# TYPE repro_engine_query_elapsed_seconds_total counter",
+        ]
+        for q in self._queries.values():
+            label = q.query_text.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_engine_query_elapsed_seconds_total{{query="{label}"}} '
+                f"{q.total_elapsed:.6f}"
+            )
+        lines += [
+            "# HELP repro_engine_io_total Storage-layer IO counters.",
+            "# TYPE repro_engine_io_total counter",
+        ]
+        for key in sorted(io_totals):
+            lines.append(
+                f'repro_engine_io_total{{counter="{key}"}} {io_totals[key]}'
+            )
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# virtual system tables
+# ---------------------------------------------------------------------------
+
+
+class VirtualTable:
+    """A read-only table whose rows come from a Python callable.
+
+    Implements just enough of the :class:`~repro.engine.table.Table`
+    surface (``schema``, ``row_count``, ``scan``, ``statistics``,
+    ``secondary_indexes``) for the planner's access-path selection and
+    the executor's TableScan to treat it like any heap."""
+
+    def __init__(self, schema: TableSchema, rows_fn: Callable[[], Sequence[Tuple]]):
+        self.schema = schema
+        self._rows_fn = rows_fn
+        self.statistics = None
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows_fn())
+
+    def scan(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._rows_fn())
+
+    def secondary_indexes(self) -> Dict[str, Any]:
+        return {}
+
+    def _read_only(self, *_args: Any, **_kwargs: Any) -> Any:
+        raise BindError(f"system view {self.schema.name!r} is read-only")
+
+    insert = _read_only
+    delete_where = _read_only
+    update_where = _read_only
+
+
+def _view_schema(name: str, columns: Sequence[Tuple[str, Any]]) -> TableSchema:
+    return TableSchema(
+        name,
+        [Column(col_name, col_type) for col_name, col_type in columns],
+    )
+
+
+def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
+    """Build the DMV-style virtual tables bound to one database."""
+    query_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_exec_query_stats",
+            [
+                ("query_text", varchar_type(-1)),
+                ("statement_kind", varchar_type(64)),
+                ("execution_count", int_type()),
+                ("total_elapsed_ms", float_type()),
+                ("avg_elapsed_ms", float_type()),
+                ("last_elapsed_ms", float_type()),
+                ("total_rows", int_type()),
+                ("total_logical_reads", int_type()),
+                ("total_pages_written", int_type()),
+            ],
+        ),
+        lambda: db.metrics.query_stats_rows(),
+    )
+
+    def index_stats_rows() -> List[Tuple[Any, ...]]:
+        rows = []
+        for table in db.catalog.tables():
+            pk = getattr(table, "_pk_index", None)
+            if pk is not None:
+                rows.append(
+                    (
+                        table.schema.name,
+                        "PK_" + table.schema.name,
+                        "CLUSTERED",
+                        pk.depth(),
+                        len(pk),
+                        pk.io.get("seeks", 0),
+                        pk.io.get("node_visits", 0),
+                    )
+                )
+            for index_name, (_cols, tree) in getattr(
+                table, "_secondary", {}
+            ).items():
+                rows.append(
+                    (
+                        table.schema.name,
+                        index_name,
+                        "NONCLUSTERED",
+                        tree.depth(),
+                        len(tree),
+                        tree.io.get("seeks", 0),
+                        tree.io.get("node_visits", 0),
+                    )
+                )
+        return rows
+
+    index_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_db_index_stats",
+            [
+                ("table_name", varchar_type(128)),
+                ("index_name", varchar_type(128)),
+                ("index_type", varchar_type(32)),
+                ("depth", int_type()),
+                ("entry_count", int_type()),
+                ("seeks", int_type()),
+                ("node_visits", int_type()),
+            ],
+        ),
+        index_stats_rows,
+    )
+
+    io_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_io_stats",
+            [("counter", varchar_type(128)), ("value", int_type())],
+        ),
+        lambda: sorted(db._io_totals().items()),
+    )
+
+    return {
+        "sys_dm_exec_query_stats": query_stats,
+        "sys_dm_db_index_stats": index_stats,
+        "sys_dm_io_stats": io_stats,
+    }

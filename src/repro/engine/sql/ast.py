@@ -193,3 +193,12 @@ class UpdateStatisticsStmt:
     optimizer statistics (row counts, distinct counts, histograms)."""
 
     table: str
+
+
+@dataclass
+class SetStatisticsStmt:
+    """``SET STATISTICS TIME|IO ON|OFF`` — toggle the session knobs that
+    print per-statement elapsed-time / logical-IO summaries."""
+
+    option: str  # 'TIME' or 'IO'
+    enabled: bool

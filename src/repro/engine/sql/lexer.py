@@ -33,7 +33,7 @@ KEYWORDS = {
     "DATA_COMPRESSION", "ROW", "PAGE", "NONE", "OVER", "UNIQUE",
     "OPENROWSET", "BULK", "SINGLE_BLOB", "CLUSTERED", "EXISTS", "UNION",
     "ALL", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "EXPLAIN",
-    "OPTION", "MAXDOP", "TRUNCATE", "STATISTICS", "ANALYZE",
+    "OPTION", "MAXDOP", "TRUNCATE", "STATISTICS", "ANALYZE", "OFF",
 }
 
 _TWO_CHAR_OPS = {"<>", "<=", ">=", "!=", "=="}
@@ -47,6 +47,10 @@ class Token:
     value: str
     line: int
     column: int
+    #: character offset of the token's first character in the source
+    #: text, so the parser can slice out each statement's SQL for the
+    #: query-stats registry
+    offset: int = 0
 
     def matches_keyword(self, *words: str) -> bool:
         return self.type == KEYWORD and self.value in words
@@ -109,8 +113,9 @@ class Lexer:
     def _next_token(self) -> Token:
         self._skip_trivia()
         line, column = self.line, self.column
+        offset = self.pos
         if self.pos >= len(self.text):
-            return Token(EOF, "", line, column)
+            return Token(EOF, "", line, column, offset)
         ch = self._peek()
 
         # bracketed identifier [Read]
@@ -123,7 +128,7 @@ class Lexer:
                 raise self._error("unterminated bracketed identifier")
             name = self.text[start : self.pos]
             self._advance()
-            return Token(IDENT, name, line, column)
+            return Token(IDENT, name, line, column, offset)
 
         # string literal
         if ch == "'":
@@ -143,7 +148,7 @@ class Lexer:
                 else:
                     parts.append(current)
                     self._advance()
-            return Token(STRING, "".join(parts), line, column)
+            return Token(STRING, "".join(parts), line, column, offset)
 
         # number
         if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
@@ -165,7 +170,7 @@ class Lexer:
                     self._advance()
                 while self.pos < len(self.text) and self._peek().isdigit():
                     self._advance()
-            return Token(NUMBER, self.text[start : self.pos], line, column)
+            return Token(NUMBER, self.text[start : self.pos], line, column, offset)
 
         # identifier / keyword
         if ch.isalpha() or ch == "_" or ch == "@":
@@ -177,20 +182,20 @@ class Lexer:
             word = self.text[start : self.pos]
             upper = word.upper()
             if upper in KEYWORDS:
-                return Token(KEYWORD, upper, line, column)
-            return Token(IDENT, word, line, column)
+                return Token(KEYWORD, upper, line, column, offset)
+            return Token(IDENT, word, line, column, offset)
 
         # operators
         two = self.text[self.pos : self.pos + 2]
         if two in _TWO_CHAR_OPS:
             self._advance(2)
-            return Token(OP, "<>" if two == "!=" else two, line, column)
+            return Token(OP, "<>" if two == "!=" else two, line, column, offset)
         if ch in _ONE_CHAR_OPS:
             self._advance()
-            return Token(OP, ch, line, column)
+            return Token(OP, ch, line, column, offset)
         if ch in _PUNCT:
             self._advance()
-            return Token(PUNCT, ch, line, column)
+            return Token(PUNCT, ch, line, column, offset)
         raise self._error(f"unexpected character {ch!r}")
 
 

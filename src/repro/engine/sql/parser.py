@@ -57,6 +57,7 @@ _TYPE_NAMES = {
 
 class Parser:
     def __init__(self, text: str):
+        self._text = text
         self._tokens = tokenize(text)
         self._pos = 0
 
@@ -124,7 +125,13 @@ class Parser:
     def parse_statements(self) -> List[object]:
         statements: List[object] = []
         while self._peek().type != EOF:
-            statements.append(self._parse_statement())
+            start = self._peek().offset
+            statement = self._parse_statement()
+            end = self._peek().offset
+            # each statement carries its own SQL text, so the metrics
+            # registry can key execution stats by statement
+            statement.source_sql = self._text[start:end].rstrip().rstrip(";")
+            statements.append(statement)
             while self._accept_punct(";"):
                 pass
         return statements
@@ -166,7 +173,18 @@ class Parser:
             self._next()
             self._expect_keyword("TABLE")
             return ast.TruncateStmt(self._expect_ident())
+        if token.matches_keyword("SET"):
+            return self._parse_set()
         raise self._error("expected a statement")
+
+    def _parse_set(self) -> ast.SetStatisticsStmt:
+        self._expect_keyword("SET")
+        self._expect_keyword("STATISTICS")
+        option = self._expect_ident().upper()
+        if option not in ("TIME", "IO"):
+            raise self._error("expected TIME or IO after SET STATISTICS")
+        enabled = self._expect_keyword("ON", "OFF").value == "ON"
+        return ast.SetStatisticsStmt(option, enabled)
 
     # -- SELECT -----------------------------------------------------------------------
 

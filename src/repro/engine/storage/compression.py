@@ -87,6 +87,11 @@ class PageCompressor:
         if not records:
             raise StorageError("cannot page-compress zero records")
         ncols = len(records[0][1])
+        #: ROW-format field bytes fed in / page-compressed bytes produced
+        self.bytes_in = sum(
+            len(field) for _nulls, fields in records for field in fields
+        )
+        self.bytes_out = 0
         self.anchors: List[bytes] = []
         for col in range(ncols):
             column_values = [
@@ -151,6 +156,7 @@ class PageCompressor:
                     write_varint(len(suffix), buf)
                     buf += suffix
             out.append(bytes(buf))
+        self.bytes_out = self.overhead_bytes() + sum(len(r) for r in out)
         return out
 
     def decode_record(self, record: bytes, ncols: int) -> Tuple[List[bool], List[bytes]]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Sequence, Tuple
 
 from ..errors import StorageError
+from ..metrics import Counters
 from ..schema import (
     COMPRESSION_NONE,
     COMPRESSION_PAGE,
@@ -47,6 +48,8 @@ class HeapFile:
         )
         self.pages: list[Page] = []
         self.stats = TableStatistics()
+        #: always-on IO counters (SET STATISTICS IO / sys_dm_io_stats)
+        self.io = Counters()
 
     # -- write path --------------------------------------------------------------
 
@@ -58,6 +61,7 @@ class HeapFile:
         page = Page(len(self.pages))
         self.pages.append(page)
         self.stats.page_count += 1
+        self.io.incr("pages_written")
         return page
 
     def _seal(self, page: Page) -> None:
@@ -67,6 +71,9 @@ class HeapFile:
             page_compress=self.compression == COMPRESSION_PAGE,
         )
         self.stats.data_bytes += page.used_bytes - before
+        if page.compressor is not None:
+            self.io.incr("compression_bytes_in", page.compressor.bytes_in)
+            self.io.incr("compression_bytes_out", page.compressor.bytes_out)
 
     def insert(self, row: Sequence[Any]) -> Rid:
         """Serialise and store one validated row; returns its rid."""
@@ -79,6 +86,9 @@ class HeapFile:
         page = self._tail_page(record)
         slot = page.append(record)
         self.stats.on_insert(len(record), uncompressed)
+        self.io.incr("rows_inserted")
+        self.io.incr("bytes_written", len(record))
+        self.io.incr("bytes_uncompressed", uncompressed)
         return (page.page_id, slot)
 
     def seal_all(self) -> None:
@@ -108,6 +118,10 @@ class HeapFile:
         if page_no < 0 or page_no >= len(self.pages):
             raise StorageError(f"bad page number {page_no}")
         page = self.pages[page_no]
+        # pages_read - page_cache_misses = warm buffer-pool hits
+        self.io.incr("pages_read")
+        if page.decoded is None:
+            self.io.incr("page_cache_misses")
         cache = page.row_cache(self.serializer)
         if slot < 0 or slot >= len(cache):
             raise StorageError(f"bad slot {slot} on page {page_no}")
@@ -122,8 +136,13 @@ class HeapFile:
         Scans go through the per-page row cache, so a second scan of an
         unchanged table pays no decoding cost (warm buffer pool)."""
         serializer = self.serializer
+        io = self.io
+        io.incr("scans")
         for page in self.pages:
             page_id = page.page_id
+            io.incr("pages_read")
+            if page.decoded is None:
+                io.incr("page_cache_misses")
             cache = page.row_cache(serializer)
             for slot, row in enumerate(cache):
                 if row is not None:

@@ -37,6 +37,7 @@ class Page:
         "sealed",
         "compressor",
         "decoded",
+        "decodes",
         "_ncols",
     )
 
@@ -47,6 +48,9 @@ class Page:
         self.used_bytes = PAGE_HEADER_SIZE
         self.sealed = False
         self.compressor: Optional[PageCompressor] = None
+        #: lifetime count of record decodes this page has paid (cold
+        #: reads); stays flat while the row cache is warm
+        self.decodes = 0
         #: buffer-pool row cache: decoded tuples per slot (None = not
         #: built / deleted slot). Built lazily on first scan, dropped on
         #: any mutation — the "warm buffer pool" the paper measures with.
@@ -148,6 +152,7 @@ class Page:
             deserialize = serializer.deserialize
             for slot, record in self.iter_records(serializer):
                 cache[slot] = deserialize(record)
+                self.decodes += 1
             self.decoded = cache
         return self.decoded
 

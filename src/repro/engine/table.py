@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from .errors import BindError, ConstraintViolation, DuplicateKeyError, StorageError
 from .filestream import FileStreamStore
 from .index.btree import BPlusTree
+from .metrics import Counters
 from .schema import COMPRESSION_NONE, Column, TableSchema
 from .storage.heap import HeapFile, Rid
 
@@ -326,3 +327,14 @@ class Table:
 
     def uncompressed_bytes(self) -> int:
         return self.heap.uncompressed_bytes()
+
+    def io_report(self) -> Counters:
+        """Combined IO counters for this table: heap counters as-is,
+        B+tree counters (clustered + secondary, summed) under an
+        ``index_`` prefix. Used by SET STATISTICS IO and the DMVs."""
+        out = self.heap.io.snapshot()
+        if self._pk_index is not None:
+            out.merge(self._pk_index.io, prefix="index_")
+        for _name, (_cols, tree) in self._secondary.items():
+            out.merge(tree.io, prefix="index_")
+        return out

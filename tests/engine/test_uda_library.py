@@ -17,15 +17,14 @@ from repro.engine.uda_library import (
 )
 
 
-def test_deprecated_statistics_module_still_reexports():
+def test_legacy_statistics_shim_removed():
+    """repro.engine.statistics was a deprecation alias for this module;
+    the name now belongs exclusively to the optimizer's table statistics
+    (repro.engine.optimizer.statistics)."""
     import importlib
-    import warnings
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = importlib.import_module("repro.engine.statistics")
-    assert legacy.StdevUda is StdevUda
-    assert legacy.register_statistics is register_statistics
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.engine.statistics")
 
 
 @pytest.fixture
