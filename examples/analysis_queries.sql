@@ -1,0 +1,50 @@
+-- Lint-clean demonstration workload for `repro-genomics lint`.
+--
+-- Exercises the schema shapes the paper's Queries 1-3 rely on: a
+-- clustered read table, a secondary index, a join on tag text, and a
+-- grouped aggregate. The plan-time analyzer (sql_lint) runs over every
+-- statement; this script is expected to produce no warnings or errors.
+
+CREATE TABLE Read (
+    r_id BIGINT PRIMARY KEY,
+    r_sample INT,
+    r_lane INT,
+    r_tile INT,
+    short_read_seq VARCHAR(100),
+    quals VARCHAR(100)
+);
+
+CREATE TABLE Tag (
+    t_id INT PRIMARY KEY,
+    t_seq VARCHAR(100),
+    t_frequency INT
+);
+
+INSERT INTO Read VALUES
+    (1, 1, 1, 1, 'ACGTACGTACGT', 'IIIIIIIIIIII'),
+    (2, 1, 1, 1, 'TTGACCAATTGA', 'IIIIIIIIHHHH'),
+    (3, 1, 1, 2, 'ACGTACGTACGT', 'IIIIIIIIIIII'),
+    (4, 1, 2, 2, 'GGGGACGTACGT', 'HHHHIIIIIIII'),
+    (5, 1, 2, 3, 'ACGTACGTACGT', 'GGGGIIIIIIII');
+
+INSERT INTO Tag VALUES
+    (1, 'ACGTACGTACGT', 3),
+    (2, 'TTGACCAATTGA', 1),
+    (3, 'GGGGACGTACGT', 1);
+
+CREATE INDEX ix_tag_seq ON Tag (t_seq);
+
+-- point lookup through the clustered key (SARGable: bare column)
+SELECT short_read_seq FROM Read WHERE r_id = 3;
+
+-- the Query-1 shape: bin identical reads, frequency-ranked
+SELECT short_read_seq, COUNT(*) AS freq
+FROM Read
+GROUP BY short_read_seq
+ORDER BY freq DESC;
+
+-- equi-join against the tag dictionary (no cartesian product)
+SELECT r.r_id, t.t_id, t.t_frequency
+FROM Read AS r
+JOIN Tag AS t ON (r.short_read_seq = t.t_seq)
+WHERE t.t_frequency > 1;

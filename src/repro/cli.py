@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the lab loop a downstream user runs:
+Six subcommands cover the lab loop a downstream user runs:
 
 - ``simulate`` — generate a synthetic reference genome, gene annotation,
   and a level-1 FASTQ lane (DGE or re-sequencing statistics);
@@ -11,7 +11,10 @@ Five subcommands cover the lab loop a downstream user runs:
   print the Table-1/2-style comparison;
 - ``search`` — q-gram search for a pattern over a lane's reads;
 - ``metrics`` — run SQL with ``SET STATISTICS TIME/IO ON`` and dump the
-  engine's DMV-style system views (or Prometheus exposition text).
+  engine's DMV-style system views (or Prometheus exposition text);
+- ``lint`` — statically verify UDx modules (permission sets, contracts)
+  and lint ``.sql`` scripts through the plan-time analyzer, exiting
+  non-zero when any error-severity finding is reported.
 
 Example::
 
@@ -303,6 +306,193 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+
+
+def _split_sql_script(text: str) -> List[str]:
+    """Split a .sql script into statements (``;`` terminators, ``--``
+    line comments stripped, quoted strings respected)."""
+    statements: List[str] = []
+    current: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < len(text) and text[i + 1] == "'":
+                    current.append("'")
+                    i += 2
+                    continue
+                in_string = False
+            i += 1
+            continue
+        if ch == "'":
+            in_string = True
+            current.append(ch)
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            newline = text.find("\n", i)
+            i = len(text) if newline < 0 else newline
+            continue
+        if ch == ";":
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def _lint_register_builtins(db) -> None:
+    """Install every shipped UDx library, collecting verifier findings."""
+    from .core.indb_align import register_alignment_extensions
+    from .core.probabilistic import register_probabilistic_extensions
+    from .core.wrappers import register_extensions
+    from .engine.uda_library import register_statistics
+    from .engine.verify.udx_verifier import VerificationError
+
+    for register in (
+        register_statistics,
+        register_extensions,
+        register_alignment_extensions,
+        register_probabilistic_extensions,
+    ):
+        try:
+            register(db)
+        except VerificationError:
+            pass  # findings are recorded in the library; caller drains them
+
+
+def _lint_python_file(db, path: Path, diagnostics: List) -> None:
+    """Load one UDx module and run its ``register(db)`` through the
+    verifier; findings (including rejections) are collected."""
+    import importlib.util
+
+    from .engine.verify.udx_verifier import Diagnostic, VerificationError
+
+    spec = importlib.util.spec_from_file_location(
+        f"_lint_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        diagnostics.append(
+            Diagnostic(
+                "LINT-LOAD", "error", str(path), f"module failed to load: {exc}"
+            )
+        )
+        return
+    register = getattr(module, "register", None)
+    if register is None:
+        diagnostics.append(
+            Diagnostic(
+                "LINT-LOAD",
+                "error",
+                str(path),
+                "UDx module defines no register(db) entry point",
+            )
+        )
+        return
+    try:
+        register(db)
+    except VerificationError:
+        pass  # findings are recorded in the library; caller drains them
+
+
+def _lint_sql_file(db, path: Path, diagnostics: List) -> None:
+    """Execute a .sql script; plan-time lint findings land in
+    ``db.messages``/the lint log, bind errors become diagnostics."""
+    from .engine.errors import EngineError
+    from .engine.verify.udx_verifier import Diagnostic
+
+    before = len(db.lint_rows())
+    for statement in _split_sql_script(path.read_text(encoding="utf-8")):
+        try:
+            db.execute(statement)
+        except EngineError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    "LINT-SQL",
+                    "error",
+                    str(path),
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+    for origin, obj, rule, severity, message in db.lint_rows()[before:]:
+        diagnostics.append(Diagnostic(rule, severity, f"{path}:{obj}", message))
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .engine import Database
+    from .engine.verify.udx_verifier import Diagnostic
+
+    diagnostics: List = []
+    drained = 0
+
+    def drain_registrations(db) -> None:
+        """Pick up findings of registrations that *succeeded* (warnings
+        and infos never raise)."""
+        nonlocal drained
+        rows = db.catalog.functions.verification_rows()
+        for kind, obj, rule, severity, message in rows[drained:]:
+            diagnostics.append(
+                Diagnostic(rule, severity, f"{kind} {obj}", message)
+            )
+        drained = len(rows)
+
+    with Database() as db:
+        drained = len(db.catalog.functions.verification_rows())
+        if not args.no_builtins:
+            _lint_register_builtins(db)
+            drain_registrations(db)
+        for raw in args.paths:
+            path = Path(raw)
+            if path.is_dir():
+                targets = sorted(path.rglob("*.sql"))
+                # a directory may mix UDx modules with ordinary scripts;
+                # only modules exposing register(db) are verifiable
+                targets += [
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "def register(" in p.read_text(encoding="utf-8")
+                ]
+            else:
+                targets = [path]
+            for target in targets:
+                if target.suffix == ".sql":
+                    _lint_sql_file(db, target, diagnostics)
+                elif target.suffix == ".py":
+                    _lint_python_file(db, target, diagnostics)
+                    drain_registrations(db)
+
+    shown = [
+        d
+        for d in diagnostics
+        if args.verbose or d.severity in ("warning", "error")
+    ]
+    for d in shown:
+        print(d)
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = sum(1 for d in diagnostics if d.severity == "warning")
+    print(
+        f"lint: {errors} error(s), {warnings} warning(s), "
+        f"{len(diagnostics) - errors - warnings} info"
+    )
+    return 1 if errors else 0
+
+
+# ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
 
@@ -376,6 +566,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10, help="result rows shown per query"
     )
     metrics.set_defaults(func=cmd_metrics)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify UDx modules and lint .sql scripts "
+        "(exit 1 on errors)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help=".sql scripts, UDx .py modules (with a register(db) entry "
+        "point), or directories of either",
+    )
+    lint.add_argument(
+        "--no-builtins",
+        action="store_true",
+        help="skip verifying the shipped UDx registry",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print info-level findings",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

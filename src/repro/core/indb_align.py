@@ -42,6 +42,8 @@ class AlignShortReadsTvf(TableValuedFunction):
     """Align one sample's reads against the reference, as a relation."""
 
     name = "AlignShortReads"
+    #: scans SequenceReads / ReferenceGenome tables while streaming
+    permission_set = "EXTERNAL_ACCESS"
     columns = (
         Column("r_id", bigint_type()),
         Column("rs_id", int_type()),
@@ -112,6 +114,8 @@ class SearchShortReadsTvf(TableValuedFunction):
     """Q-gram-indexed pattern search over the ``Read`` table."""
 
     name = "SearchShortReads"
+    #: scans the Read table to build and probe the q-gram index
+    permission_set = "EXTERNAL_ACCESS"
     columns = (
         Column("r_id", bigint_type()),
         Column("short_read_seq", varchar_type(500)),

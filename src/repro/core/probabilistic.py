@@ -118,6 +118,7 @@ PROB_SEQUENCE_UDT = UdtCodec(
     serialize=_prob_serialize,
     deserialize=ProbabilisticSequence.deserialize,
     to_string=str,
+    probe=("ACGT", "IIII"),
 )
 
 
@@ -163,11 +164,15 @@ def register_probabilistic_extensions(database: Database) -> None:
     """Install the probabilistic UDT and UDFs on a database."""
     database.register_udt(PROB_SEQUENCE_UDT)
     database.register_scalar(
-        "BaseErrorProbability", _base_error_probability
+        "BaseErrorProbability", _base_error_probability, deterministic=True
     )
-    database.register_scalar("ExpectedMismatches", _expected_mismatches)
-    database.register_scalar("SequenceReliability", _sequence_reliability)
-    database.register_scalar("ProbMatch", _prob_match)
+    database.register_scalar(
+        "ExpectedMismatches", _expected_mismatches, deterministic=True
+    )
+    database.register_scalar(
+        "SequenceReliability", _sequence_reliability, deterministic=True
+    )
+    database.register_scalar("ProbMatch", _prob_match, deterministic=True)
 
 
 # ---------------------------------------------------------------------------

@@ -204,6 +204,8 @@ class ListShortReadsTvf(TableValuedFunction):
     """
 
     name = "ListShortReads"
+    #: reads the ShortReadFiles table and FILESTREAM blobs
+    permission_set = "EXTERNAL_ACCESS"
     columns = (
         Column("read_name", varchar_type(80)),
         Column("short_read_seq", varchar_type(500)),
@@ -345,6 +347,7 @@ class CallBaseUda(UserDefinedAggregate):
     name = "CallBase"
     arity = 2
     parallel_safe = True
+    permission_set = "SAFE"
 
     def init(self) -> None:
         self._votes: dict = {}
@@ -374,6 +377,7 @@ class AssembleSequenceUda(UserDefinedAggregate):
     name = "AssembleSequence"
     arity = 2
     parallel_safe = True
+    permission_set = "SAFE"
 
     def init(self) -> None:
         self._calls: List[Tuple[int, str]] = []
@@ -406,6 +410,7 @@ class AssembleConsensusUda(UserDefinedAggregate):
 
     name = "AssembleConsensus"
     arity = 3
+    permission_set = "SAFE"
     parallel_safe = False  # partial windows overlap partition borders
     requires_ordered_input = True
 
@@ -467,6 +472,7 @@ DNA_SEQUENCE_UDT = UdtCodec(
     serialize=_dna_serialize,
     deserialize=PackedDna.deserialize,
     to_string=lambda v: str(v),
+    probe="ACGTACGT",
 )
 
 
@@ -485,6 +491,7 @@ def register_extensions(
         "ReverseComplement",
         reverse_complement,
         returns_null_on_null_input=True,
+        deterministic=True,
     )
     database.register_tvf(ListShortReadsTvf(database, chunk_size=chunk_size))
     database.register_tvf(PivotAlignmentTvf())

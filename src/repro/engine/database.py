@@ -109,6 +109,8 @@ class Database:
         self.statistics_io = False
         #: per-execute() informational messages (the "Messages" tab)
         self.messages: List[str] = []
+        #: plan-time lint findings, newest last (sys_dm_verify_results)
+        self._lint_log: List[Tuple[str, str, str, str, str]] = []
         for view_name, view in make_system_views(self).items():
             self.catalog.register_view(view_name, view)
         self._register_builtin_overrides()
@@ -143,8 +145,19 @@ class Database:
 
             return _datalength(value)
 
-        self.catalog.functions.register_scalar("PathName", pathname)
-        self.catalog.functions.register_scalar("DATALENGTH", datalength)
+        # both reach FileStream storage: EXTERNAL_ACCESS, DataAccessKind.Read
+        self.catalog.functions.register_scalar(
+            "PathName",
+            pathname,
+            permission_set="EXTERNAL_ACCESS",
+            data_access="READ",
+        )
+        self.catalog.functions.register_scalar(
+            "DATALENGTH",
+            datalength,
+            permission_set="EXTERNAL_ACCESS",
+            data_access="READ",
+        )
 
     # -- extension registration -----------------------------------------------------------
 
@@ -161,6 +174,25 @@ class Database:
 
     def register_udt(self, codec: UdtCodec) -> None:
         self.catalog.functions.register_udt(codec)
+
+    # -- plan-time lint -------------------------------------------------------------------
+
+    #: retained lint findings (oldest dropped beyond this)
+    _LINT_LOG_LIMIT = 500
+
+    def record_lint(self, diagnostics) -> None:
+        """Record plan-time lint findings: one message per finding plus
+        a row in ``sys_dm_verify_results``."""
+        for d in diagnostics:
+            self.messages.append(str(d))
+            self._lint_log.append(
+                ("plan", d.obj, d.rule, d.severity, d.message)
+            )
+        if len(self._lint_log) > self._LINT_LOG_LIMIT:
+            del self._lint_log[: -self._LINT_LOG_LIMIT]
+
+    def lint_rows(self) -> List[Tuple[str, str, str, str, str]]:
+        return list(self._lint_log)
 
     @property
     def procedures(self):

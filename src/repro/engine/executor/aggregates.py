@@ -231,7 +231,12 @@ class AggregateSpec:
     @property
     def parallel_safe(self) -> bool:
         if self.uda_class is not None:
-            return bool(self.uda_class.parallel_safe)
+            # the declared flag only counts when the verifier confirmed
+            # a merge() actually exists (_merge_verified, set at
+            # registration); an unregistered class is taken at its word
+            return bool(self.uda_class.parallel_safe) and bool(
+                getattr(self.uda_class, "_merge_verified", True)
+            )
         return True
 
     @property

@@ -40,6 +40,9 @@ class PhysicalOperator:
     #: until the planner annotates the tree
     est_rows = None
     est_cost = None
+    #: verifier/optimizer annotations the planner attaches to the plan
+    #: root; EXPLAIN renders each as a trailing ``note:`` line
+    plan_notes: Sequence[str] = ()
 
     def __init__(self):
         self.rows_out = 0
@@ -137,6 +140,9 @@ class PhysicalOperator:
             lines.append(prefix + "   " + continuation.strip())
         for kid in kids:
             lines.append(kid.explain(indent + 1, analyze=analyze))
+        if indent == 0:
+            for note in self.plan_notes:
+                lines.append(f"note: {note}")
         return "\n".join(lines)
 
     # -- helpers ------------------------------------------------------------------

@@ -390,6 +390,10 @@ _COMPARE = {
 }
 
 
+#: sentinel distinguishing "not cached" from a cached None result
+_MEMO_MISS = object()
+
+
 class ExpressionCompiler:
     """Compiles expression trees into ``row -> value`` closures."""
 
@@ -515,6 +519,10 @@ class ExpressionCompiler:
 
     # -- functions -------------------------------------------------------------------
 
+    #: memo-cache entries per deterministic UDF call site; beyond this
+    #: the cache stops growing (a repeating-key workload stays cached)
+    _MEMO_LIMIT = 4096
+
     def _compile_funccall(self, expr: FuncCall):
         arg_fns = [self.compile(a) for a in expr.args]
         # registered UDFs take precedence, so a database can override a
@@ -522,11 +530,37 @@ class ExpressionCompiler:
         if self._library is not None:
             udf = self._library.scalar(expr.name)
             if udf is not None:
+                if (
+                    getattr(udf, "is_deterministic", None) is True
+                    and getattr(udf, "data_access", "NONE") == "NONE"
+                ):
+                    return self._memoised_udf(udf, arg_fns)
                 return lambda row: udf(*[fn(row) for fn in arg_fns])
         builtin = _BUILTINS.get(expr.name.lower())
         if builtin is not None:
             return lambda row: builtin(*[fn(row) for fn in arg_fns])
         raise BindError(f"unknown function {expr.name!r}")
+
+    def _memoised_udf(self, udf, arg_fns):
+        """Per-call-site memoisation — sound only because the verifier
+        proved the UDF IsDeterministic with DataAccessKind.None."""
+        cache: dict = {}
+        limit = self._MEMO_LIMIT
+
+        def memo_eval(row):
+            args = tuple(fn(row) for fn in arg_fns)
+            try:
+                hit = cache.get(args, _MEMO_MISS)
+            except TypeError:  # unhashable argument — just call
+                return udf(*args)
+            if hit is not _MEMO_MISS:
+                return hit
+            value = udf(*args)
+            if len(cache) < limit:
+                cache[args] = value
+            return value
+
+        return memo_eval
 
     def _compile_aggregatecall(self, expr: AggregateCall):
         raise BindError(

@@ -367,8 +367,28 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         lambda: sorted(db._io_totals().items()),
     )
 
+    def verify_rows() -> List[Tuple[Any, ...]]:
+        rows = list(db.catalog.functions.verification_rows())
+        rows.extend(db.lint_rows())
+        return rows
+
+    verify_results = VirtualTable(
+        _view_schema(
+            "sys_dm_verify_results",
+            [
+                ("object_type", varchar_type(32)),
+                ("object_name", varchar_type(128)),
+                ("rule", varchar_type(64)),
+                ("severity", varchar_type(16)),
+                ("message", varchar_type(-1)),
+            ],
+        ),
+        verify_rows,
+    )
+
     return {
         "sys_dm_exec_query_stats": query_stats,
         "sys_dm_db_index_stats": index_stats,
         "sys_dm_io_stats": io_stats,
+        "sys_dm_verify_results": verify_results,
     }

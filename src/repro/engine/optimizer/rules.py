@@ -29,7 +29,12 @@ from ..expressions import (
     BinaryOp,
     ColumnRef,
     Expr,
+    FuncCall,
+    Literal,
     column_refs,
+    expression_to_sql,
+    rewrite,
+    walk as walk_expr,
 )
 from ..sql import ast
 from .cost import CostModel
@@ -57,17 +62,90 @@ def _walk(node: LogicalNode):
 
 
 def apply_rewrites(
-    plan: LogicalPlan, catalog, cost: Optional[CostModel] = None
+    plan: LogicalPlan,
+    catalog,
+    cost: Optional[CostModel] = None,
+    notes: Optional[List[str]] = None,
 ) -> LogicalPlan:
-    """Run every rewrite rule over ``plan`` (and its subplans)."""
+    """Run every rewrite rule over ``plan`` (and its subplans).
+
+    ``notes`` (when given) collects human-readable descriptions of
+    verifier-driven decisions — constant folds, refused pushdowns — for
+    EXPLAIN's ``note:`` lines.
+    """
     cost = cost or CostModel()
+    library = getattr(catalog, "functions", None)
     for node in list(_walk(plan.root)):
         if isinstance(node, LogicalGet) and node.inner is not None:
-            apply_rewrites(node.inner, catalog, cost)
-    push_down_predicates(plan)
+            apply_rewrites(node.inner, catalog, cost, notes)
+    fold_constant_udfs(plan, library, notes)
+    push_down_predicates(plan, library, notes)
     reorder_joins(plan, cost)
     prune_columns(plan)
     return plan
+
+
+# -- constant folding of verified-deterministic UDFs -------------------------
+
+def _foldable(udf) -> bool:
+    """Only a *verified* IsDeterministic=true, DataAccessKind.None UDF
+    may be evaluated at plan time."""
+    return (
+        udf is not None
+        and getattr(udf, "is_deterministic", None) is True
+        and getattr(udf, "data_access", "NONE") == "NONE"
+    )
+
+
+def fold_constant_udfs(
+    plan: LogicalPlan, library, notes: Optional[List[str]] = None
+) -> None:
+    """Evaluate calls to verified-deterministic scalar UDFs over
+    all-literal arguments once, at plan time (the CLR-hosting payoff:
+    the optimizer may fold only what the verifier proved pure).
+
+    Runs before predicate pushdown so a folded equality conjunct can
+    still turn into an index seek.
+    """
+    if library is None:
+        return
+
+    def transform(node: Expr) -> Optional[Expr]:
+        if not isinstance(node, FuncCall):
+            return None
+        if not all(isinstance(a, Literal) for a in node.args):
+            return None
+        udf = library.scalar(node.name)
+        if not _foldable(udf):
+            return None
+        original = expression_to_sql(node)
+        try:
+            value = udf(*[a.value for a in node.args])
+        except Exception:
+            return None  # leave runtime errors to runtime
+        if notes is not None:
+            notes.append(
+                f"constant-folded {original} to {value!r} — "
+                f"udf {udf.name!r} is verified deterministic"
+            )
+        return Literal(value)
+
+    def fold(expr: Expr) -> Expr:
+        return rewrite(expr, transform)
+
+    for node in _walk(plan.root):
+        if isinstance(node, (LogicalFilter, LogicalJoin)):
+            node.conjuncts = [fold(c) for c in node.conjuncts]
+        elif isinstance(node, LogicalProject):
+            for item in node.items:
+                if not item.star and item.expr is not None:
+                    item.expr = fold(item.expr)
+        elif isinstance(node, LogicalAggregate):
+            node.group_by = [fold(e) for e in node.group_by]
+        elif isinstance(node, LogicalSort):
+            node.order_by = [
+                (fold(e), desc) for e, desc in node.order_by
+            ]
 
 
 # -- predicate pushdown ------------------------------------------------------
@@ -99,10 +177,56 @@ def _push_into(
     return node, conjuncts
 
 
-def push_down_predicates(plan: LogicalPlan) -> None:
+#: built-in scalar functions known non-deterministic (not in the UDF
+#: registry, so the verifier never sees them)
+_NONDETERMINISTIC_BUILTINS = {"newid", "rand", "getdate"}
+
+
+def _pushdown_barrier(conjunct: Expr, library) -> Optional[str]:
+    """Name of the first call in ``conjunct`` that forbids moving the
+    predicate (non-deterministic or data-accessing), else None.
+
+    Pushing such a predicate below a join/derived table changes how many
+    times — and against which intermediate rows — it is evaluated, which
+    is only semantics-preserving for pure functions.
+    """
+    for node in walk_expr(conjunct):
+        if not isinstance(node, FuncCall):
+            continue
+        if node.name.lower() in _NONDETERMINISTIC_BUILTINS:
+            return node.name
+        udf = library.scalar(node.name) if library is not None else None
+        if udf is None:
+            continue
+        if getattr(udf, "is_deterministic", None) is False:
+            return udf.name
+        if getattr(udf, "data_access", "NONE") != "NONE":
+            return udf.name
+    return None
+
+
+def push_down_predicates(
+    plan: LogicalPlan, library=None, notes: Optional[List[str]] = None
+) -> None:
     def visit(node: LogicalNode) -> LogicalNode:
         if isinstance(node, LogicalFilter) and node.kind == "WHERE":
-            child, remaining = _push_into(node.child, list(node.conjuncts))
+            held: List[Expr] = []
+            offered: List[Expr] = []
+            for conjunct in node.conjuncts:
+                barrier = _pushdown_barrier(conjunct, library)
+                if barrier is not None:
+                    held.append(conjunct)
+                    if notes is not None:
+                        notes.append(
+                            "predicate "
+                            f"[{expression_to_sql(conjunct)}] not pushed "
+                            f"down — {barrier!r} is non-deterministic or "
+                            "accesses data"
+                        )
+                else:
+                    offered.append(conjunct)
+            child, remaining = _push_into(node.child, offered)
+            remaining = held + remaining
             if not remaining:
                 return child
             node.child = child

@@ -168,15 +168,49 @@ class Planner:
     def __init__(self, database, cost: Optional[CostModel] = None):
         self.database = database
         self.cost = cost if cost is not None else CostModel()
+        #: verifier/optimizer notes for the plan being built (EXPLAIN
+        #: renders them as ``note:`` lines under the operator tree)
+        self._notes: List[str] = []
 
     # ------------------------------------------------------------------ SELECT
 
     def plan_select(self, stmt: ast.SelectStmt) -> PhysicalOperator:
         logical = lower_select(stmt, self.database.catalog)
-        apply_rewrites(logical, self.database.catalog, self.cost)
+        self._notes = []
+        apply_rewrites(
+            logical, self.database.catalog, self.cost, self._notes
+        )
+        self._lint(logical)
         op = self._lower_plan(logical)
         self.cost.annotate(op)
+        op.plan_notes = list(self._notes)
         return op
+
+    def _lint(self, logical: LogicalPlan) -> None:
+        from .verify.sql_lint import lint_plan
+
+        diagnostics = lint_plan(logical, self.database.catalog)
+        for d in diagnostics:
+            self._notes.append(d.message)
+        self._record_lint(diagnostics)
+
+    def _record_lint(self, diagnostics) -> None:
+        record = getattr(self.database, "record_lint", None)
+        if record is not None and diagnostics:
+            record(diagnostics)
+
+    def _warn_serial_forced(self, uda_name: str) -> None:
+        from .verify.udx_verifier import Diagnostic
+
+        message = (
+            f"serial aggregate forced — uda {uda_name!r} has no "
+            "verified merge"
+        )
+        if message not in self._notes:
+            self._notes.append(message)
+        self._record_lint(
+            [Diagnostic("LINT-SERIAL-AGG", "warning", uda_name, message)]
+        )
 
     def explain_select(self, stmt: ast.SelectStmt) -> str:
         return self.plan_select(stmt).explain()
@@ -709,6 +743,26 @@ class Planner:
         go_parallel = (
             node.maxdop is not None and node.maxdop > 1
         ) or self.cost.parallel_agg_wins(input_rows, dop)
+
+        # a UDA that *claims* parallel_safe but failed merge verification
+        # falls out of all_parallel_safe (AggregateSpec consults
+        # _merge_verified) — when that is what blocks an otherwise
+        # parallel plan, say so
+        if (
+            not all_parallel_safe
+            and not needs_order
+            and group_fns
+            and dop > 1
+            and go_parallel
+        ):
+            for spec in specs:
+                cls = spec.uda_class
+                if (
+                    cls is not None
+                    and cls.parallel_safe
+                    and not getattr(cls, "_merge_verified", True)
+                ):
+                    self._warn_serial_forced(getattr(cls, "name", spec.name))
 
         result: PhysicalOperator
         if needs_order:

@@ -264,6 +264,10 @@ class UdtCodec:
     serialize: Callable[[Any], bytes]
     deserialize: Callable[[bytes], Any]
     to_string: Callable[[Any], str] = field(default=str)
+    #: representative value the verifier round-trips at registration
+    #: time (serialize → deserialize → serialize must be byte-stable);
+    #: None registers the codec with an "unverified" warning.
+    probe: Any = None
 
 
 # -- convenient constructors -------------------------------------------------

@@ -70,6 +70,7 @@ class VarUda(UserDefinedAggregate):
     name = "VAR"
     arity = 1
     parallel_safe = True
+    permission_set = "SAFE"
 
     def init(self) -> None:
         self._state = _WelfordState()
@@ -102,6 +103,7 @@ class MedianUda(UserDefinedAggregate):
     name = "MEDIAN"
     arity = 1
     parallel_safe = True
+    permission_set = "SAFE"
 
     def init(self) -> None:
         self._values: List[float] = []
@@ -136,6 +138,7 @@ class StringAggUda(UserDefinedAggregate):
     arity = 1
     parallel_safe = False
     requires_ordered_input = True
+    permission_set = "SAFE"
 
     separator = ","
 
@@ -159,6 +162,7 @@ class GeoMeanUda(UserDefinedAggregate):
     name = "GEOMEAN"
     arity = 1
     parallel_safe = True
+    permission_set = "SAFE"
 
     def init(self) -> None:
         self._log_sum = 0.0

@@ -48,6 +48,15 @@ class ScalarUdf:
     #: the engine short-circuits to NULL when any argument is NULL
     #: (SQL Server's ``OnNullCall`` attribute).
     returns_null_on_null_input: bool = False
+    #: CLR-host permission set the body was verified against
+    #: (SAFE / EXTERNAL_ACCESS / UNSAFE).
+    permission_set: str = "SAFE"
+    #: verified ``IsDeterministic``: True lets the optimizer constant-fold
+    #: and memoise calls; False blocks predicate pushdown past the call;
+    #: None means the verifier could not see the source.
+    is_deterministic: Optional[bool] = None
+    #: verified ``DataAccessKind`` ("NONE" or "READ").
+    data_access: str = "NONE"
 
     def __call__(self, *args: Any) -> Any:
         if self.returns_null_on_null_input and any(a is None for a in args):
@@ -165,16 +174,44 @@ class FunctionLibrary:
         self._tvfs: Dict[str, TableValuedFunction] = {}
         self._udas: Dict[str, Type[UserDefinedAggregate]] = {}
         self._udts: Dict[str, UdtCodec] = {}
+        #: (object_type, lowered name) -> diagnostics recorded by the
+        #: static verifier at registration time (sys_dm_verify_results)
+        self._verification: Dict[Tuple[str, str], list] = {}
 
     # -- registration -------------------------------------------------------------
+
+    def _record_verification(self, kind: str, name: str, report) -> None:
+        """Store the verifier's findings; reject the object when any
+        finding is error severity (CREATE ASSEMBLY fails)."""
+        from .verify.udx_verifier import VerificationError
+
+        self._verification[(kind, name.lower())] = list(report.diagnostics)
+        if any(d.is_error for d in report.diagnostics):
+            raise VerificationError(report.diagnostics)
 
     def register_scalar(
         self,
         name: str,
         func: Callable[..., Any],
         returns_null_on_null_input: bool = False,
+        permission_set: str = "SAFE",
+        deterministic: Optional[bool] = None,
+        data_access: Optional[str] = None,
     ) -> ScalarUdf:
-        udf = ScalarUdf(name, func, returns_null_on_null_input)
+        from .verify.contracts import verify_scalar
+
+        report = verify_scalar(
+            name, func, permission_set, deterministic, data_access
+        )
+        self._record_verification("scalar UDF", name, report)
+        udf = ScalarUdf(
+            name,
+            func,
+            returns_null_on_null_input,
+            permission_set,
+            report.is_deterministic,
+            report.data_access or "NONE",
+        )
         self._scalars[name.lower()] = udf
         return udf
 
@@ -183,16 +220,46 @@ class FunctionLibrary:
             raise BindError("TVF must have a name")
         if not tvf.columns:
             raise BindError(f"TVF {tvf.name!r} must declare output columns")
+        from .verify.contracts import verify_tvf
+
+        report = verify_tvf(tvf)
+        self._record_verification("TVF", tvf.name, report)
         self._tvfs[tvf.name.lower()] = tvf
         return tvf
 
     def register_uda(self, uda_class: Type[UserDefinedAggregate]) -> None:
         if not uda_class.name:
             raise BindError("UDA class must set a name")
+        from .verify.contracts import verify_uda
+
+        report = verify_uda(uda_class)
+        self._record_verification("UDA", uda_class.name, report)
         self._udas[uda_class.name.lower()] = uda_class
 
     def register_udt(self, codec: UdtCodec) -> None:
+        from .verify.contracts import verify_udt
+
+        report = verify_udt(codec)
+        self._record_verification("UDT", codec.name, report)
         self._udts[codec.name.lower()] = codec
+
+    # -- verification results -------------------------------------------------------
+
+    def verification_rows(self) -> list:
+        """Flattened verifier findings for ``sys_dm_verify_results``."""
+        rows = []
+        for (kind, _key), diagnostics in self._verification.items():
+            for d in diagnostics:
+                rows.append((kind, d.obj, d.rule, d.severity, d.message))
+        return rows
+
+    def diagnostics_for(self, name: str) -> list:
+        """All recorded findings for one object name (any kind)."""
+        found = []
+        for (_kind, key), diagnostics in self._verification.items():
+            if key == name.lower():
+                found.extend(diagnostics)
+        return found
 
     # -- lookup ---------------------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""Static verification of registered extensions (the CLR-host analogue).
+
+SQL Server only admits a CLR assembly after the hosted verifier checks
+it against its declared permission set (``SAFE`` / ``EXTERNAL_ACCESS`` /
+``UNSAFE``) and its attributes (``IsDeterministic``, ``DataAccessKind``,
+``OnNullCall``) — and the optimizer then *relies* on those verified
+properties to fold, push down, and parallelise UDx calls (paper
+Sections 2.3.2–2.3.4). This package is our equivalent, run at
+registration time and at plan time:
+
+- :mod:`.udx_verifier` — Python-``ast`` analysis of every registered
+  scalar UDF / TVF / UDA / UDT body against its permission set, plus
+  inference of ``is_deterministic`` and ``data_access``;
+- :mod:`.contracts` — structural contract checking (UDA lifecycle and
+  arity, streaming TVF ``create``, ``fill_row``/schema arity, UDT
+  round-trip probes);
+- :mod:`.sql_lint` — semantic lint over the logical plan IR (static
+  type checks, SARGability, cartesian products, unused projections).
+
+Diagnostics surface through ``db.messages``, the
+``sys_dm_verify_results`` system view, EXPLAIN plan notes, and the
+``repro-genomics lint`` CLI command.
+"""
+
+from __future__ import annotations
+
+from .udx_verifier import (
+    PERMISSION_SETS,
+    AnalysisReport,
+    Diagnostic,
+    VerificationError,
+    analyze_callable,
+    analyze_class_methods,
+)
+from .contracts import (
+    verify_scalar,
+    verify_tvf,
+    verify_uda,
+    verify_udt,
+)
+from .sql_lint import lint_plan
+
+__all__ = [
+    "PERMISSION_SETS",
+    "AnalysisReport",
+    "Diagnostic",
+    "VerificationError",
+    "analyze_callable",
+    "analyze_class_methods",
+    "verify_scalar",
+    "verify_tvf",
+    "verify_uda",
+    "verify_udt",
+    "lint_plan",
+]

@@ -1,0 +1,312 @@
+"""Semantic lint over the logical plan IR.
+
+Runs at plan time, after the rewrite rules, over the tree of
+:mod:`repro.engine.optimizer.logical` — before any physical operator is
+built, so every finding is static. Four rule families:
+
+- **LINT-TYPE** — comparisons between a base-table column and a literal
+  of an incompatible kind (``int_col = 'x'``). The engine's runtime
+  comparison would raise (or worse, silently compare cross-type), so
+  the lint surfaces it as the plan is built.
+- **LINT-SARG** — a function call wrapping an *indexed* column inside a
+  filter conjunct. The predicate cannot drive a seek (it is not
+  SARGable), and when the wrapped function is non-deterministic or
+  data-accessing, the optimizer additionally refuses to push it down;
+  the warning names the function and why.
+- **LINT-CARTESIAN** — a join with no equality conjunct between its
+  sides: a cartesian product. (The planner later refuses to lower it;
+  the lint reports it without executing anything.)
+- **LINT-UNUSED-COLUMN** — a derived table computing columns the outer
+  query never references: wasted work below the plan's pipeline.
+
+Findings are :class:`~.udx_verifier.Diagnostic` objects; the planner
+attaches them to the physical plan (EXPLAIN notes), the database
+records them (``db.messages`` + ``sys_dm_verify_results``), and the
+``repro-genomics lint`` CLI prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    column_refs,
+    expression_to_sql,
+    walk as walk_expr,
+)
+from ..optimizer.logical import (
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalNode,
+    LogicalPlan,
+)
+from .udx_verifier import Diagnostic
+
+#: SqlType.kind buckets for the static comparison check
+_NUMERIC_KINDS = {"INT", "BIGINT", "SMALLINT", "TINYINT", "BIT", "FLOAT"}
+_TEXT_KINDS = {"CHAR", "VARCHAR"}
+
+
+def _walk_nodes(node: LogicalNode):
+    yield node
+    if isinstance(node, LogicalGet) and node.inner is not None:
+        yield from _walk_nodes(node.inner.root)
+    for child in node.children():
+        yield from _walk_nodes(child)
+
+
+def _column_types(plan: LogicalPlan) -> Dict[str, object]:
+    """qualified-column-name (lowered) → SqlType for every base-table
+    Get at this query level."""
+    types: Dict[str, object] = {}
+    for node in _walk_nodes(plan.root):
+        if not isinstance(node, LogicalGet) or node.table is None:
+            continue
+        binding = (node.binding or "").lower()
+        for column in node.table.schema.columns:
+            types[f"{binding}.{column.name.lower()}"] = column.sql_type
+            types.setdefault(column.name.lower(), column.sql_type)
+    return types
+
+
+def _indexed_columns(plan: LogicalPlan) -> Dict[str, str]:
+    """qualified-column-name (lowered) → index description, for columns
+    leading a clustered key or secondary index (seekable columns)."""
+    indexed: Dict[str, str] = {}
+    for node in _walk_nodes(plan.root):
+        if not isinstance(node, LogicalGet) or node.table is None:
+            continue
+        table = node.table
+        binding = (node.binding or "").lower()
+        schema = table.schema
+        if not schema.heap and schema.primary_key:
+            lead = schema.primary_key[0].lower()
+            indexed[f"{binding}.{lead}"] = "clustered key"
+            indexed.setdefault(lead, "clustered key")
+        secondary = {}
+        try:
+            secondary = table.secondary_indexes()
+        except Exception:  # virtual tables etc.
+            secondary = {}
+        for index_name, col_idxs in secondary.items():
+            if not col_idxs:
+                continue
+            lead = schema.columns[col_idxs[0]].name.lower()
+            indexed[f"{binding}.{lead}"] = f"index {index_name}"
+            indexed.setdefault(lead, f"index {index_name}")
+    return indexed
+
+
+def _literal_kind(value) -> Optional[str]:
+    if isinstance(value, bool):
+        return "numeric"
+    if isinstance(value, (int, float)):
+        return "numeric"
+    if isinstance(value, str):
+        return "text"
+    return None
+
+
+def _column_kind(sql_type) -> Optional[str]:
+    kind = getattr(sql_type, "kind", None)
+    if kind in _NUMERIC_KINDS:
+        return "numeric"
+    if kind in _TEXT_KINDS:
+        return "text"
+    return None
+
+
+def _qualified(ref: ColumnRef) -> str:
+    if ref.qualifier:
+        return f"{ref.qualifier.lower()}.{ref.name.lower()}"
+    return ref.name.lower()
+
+
+def _check_types(
+    conjunct: Expr,
+    types: Dict[str, object],
+    diagnostics: List[Diagnostic],
+) -> None:
+    for node in walk_expr(conjunct):
+        if not (
+            isinstance(node, BinaryOp)
+            and node.op in ("=", "<>", "!=", "<", "<=", ">", ">=")
+        ):
+            continue
+        ref, lit = node.left, node.right
+        if isinstance(ref, Literal) and isinstance(lit, ColumnRef):
+            ref, lit = lit, ref
+        if not (isinstance(ref, ColumnRef) and isinstance(lit, Literal)):
+            continue
+        sql_type = types.get(_qualified(ref))
+        if sql_type is None:
+            continue
+        column_kind = _column_kind(sql_type)
+        literal_kind = _literal_kind(lit.value)
+        if (
+            column_kind is not None
+            and literal_kind is not None
+            and column_kind != literal_kind
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "LINT-TYPE",
+                    "warning",
+                    str(ref),
+                    f"comparison {expression_to_sql(node)} mixes "
+                    f"{column_kind} column {ref} ({sql_type}) with a "
+                    f"{literal_kind} literal",
+                )
+            )
+
+
+def _check_sargability(
+    conjunct: Expr,
+    indexed: Dict[str, str],
+    library,
+    diagnostics: List[Diagnostic],
+) -> None:
+    for node in walk_expr(conjunct):
+        if not isinstance(node, FuncCall):
+            continue
+        wrapped = [
+            ref
+            for arg in node.args
+            for ref in column_refs(arg)
+            if _qualified(ref) in indexed
+        ]
+        if not wrapped:
+            continue
+        ref = wrapped[0]
+        udf = library.scalar(node.name) if library is not None else None
+        reason = f"wrapped by {node.name!r}"
+        if udf is not None:
+            if getattr(udf, "is_deterministic", None) is False:
+                reason = f"udf {node.name!r} is non-deterministic"
+            elif getattr(udf, "data_access", "NONE") != "NONE":
+                reason = f"udf {node.name!r} accesses data"
+        diagnostics.append(
+            Diagnostic(
+                "LINT-SARG",
+                "warning",
+                node.name,
+                f"predicate on {ref} not SARGable — {reason}; the "
+                f"{indexed[_qualified(ref)]} on {ref} cannot be used "
+                "for a seek",
+            )
+        )
+
+
+def _is_equi_conjunct(conjunct: Expr, left: LogicalNode,
+                      right: LogicalNode) -> bool:
+    from ..optimizer.logical import binds_names
+
+    if not (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return False
+    a, b = conjunct.left, conjunct.right
+    return (
+        binds_names(left.columns, a) and binds_names(right.columns, b)
+    ) or (
+        binds_names(left.columns, b) and binds_names(right.columns, a)
+    )
+
+
+def _check_cartesian(
+    plan: LogicalPlan, diagnostics: List[Diagnostic]
+) -> None:
+    for node in _walk_nodes(plan.root):
+        if not isinstance(node, LogicalJoin):
+            continue
+        if not any(
+            _is_equi_conjunct(c, node.left, node.right)
+            for c in node.conjuncts
+        ):
+            left = ", ".join(node.left.columns[:2]) or "(left)"
+            right = ", ".join(node.right.columns[:2]) or "(right)"
+            diagnostics.append(
+                Diagnostic(
+                    "LINT-CARTESIAN",
+                    "warning",
+                    "JOIN",
+                    "join has no equality predicate between its inputs "
+                    f"({left} × {right}) — cartesian product",
+                )
+            )
+
+
+def _referenced_names(plan: LogicalPlan) -> Set[str]:
+    """Every column name (bare and qualified, lowered) referenced
+    anywhere at this query level."""
+    from ..optimizer.rules import _collect_refs
+
+    refs, stars = _collect_refs(plan)
+    names: Set[str] = set()
+    for ref in refs:
+        names.add(ref.name.lower())
+        if ref.qualifier:
+            names.add(f"{ref.qualifier.lower()}.{ref.name.lower()}")
+    for qualifier in stars:
+        names.add(f"{(qualifier or '*').lower()}.*")
+    return names
+
+
+def _check_unused_projection(
+    plan: LogicalPlan, diagnostics: List[Diagnostic]
+) -> None:
+    referenced = None
+    for node in _walk_nodes(plan.root):
+        if not isinstance(node, LogicalGet) or node.inner is None:
+            continue
+        if referenced is None:
+            referenced = _referenced_names(plan)
+        binding = (node.binding or "").lower()
+        if "*.*" in referenced or f"{binding}.*" in referenced:
+            continue
+        unused = []
+        for column in node.columns:
+            bare = column.lower().rsplit(".", 1)[-1]
+            if (
+                bare not in referenced
+                and column.lower() not in referenced
+            ):
+                unused.append(bare)
+        if unused and len(unused) < len(node.columns):
+            diagnostics.append(
+                Diagnostic(
+                    "LINT-UNUSED-COLUMN",
+                    "warning",
+                    node.binding or "(derived)",
+                    f"derived table computes {', '.join(unused)} but the "
+                    "outer query never references "
+                    + ("it" if len(unused) == 1 else "them"),
+                )
+            )
+
+
+def lint_plan(plan: LogicalPlan, catalog) -> List[Diagnostic]:
+    """Run every lint rule over one (rewritten) logical plan."""
+    diagnostics: List[Diagnostic] = []
+    library = getattr(catalog, "functions", None)
+    types = _column_types(plan)
+    indexed = _indexed_columns(plan)
+    for node in _walk_nodes(plan.root):
+        if isinstance(node, (LogicalFilter, LogicalJoin)):
+            for conjunct in node.conjuncts:
+                _check_types(conjunct, types, diagnostics)
+                _check_sargability(
+                    conjunct, indexed, library, diagnostics
+                )
+    _check_cartesian(plan, diagnostics)
+    _check_unused_projection(plan, diagnostics)
+    return diagnostics

@@ -1,0 +1,550 @@
+"""AST-based verification of extension bodies against permission sets.
+
+The CLR host admits an assembly only after verifying its IL against the
+declared permission set; here the "IL" is the Python source of each
+registered callable, recovered with :func:`inspect.getsource` and
+analysed with :mod:`ast`:
+
+- ``SAFE`` forbids importing or calling anything that reaches I/O, the
+  network, ``os``/``subprocess``, or that mutates closed-over / global
+  state — computation only, like SAFE CLR code;
+- ``EXTERNAL_ACCESS`` additionally admits file/stream/table access (the
+  FileStream wrapper TVFs live here);
+- ``UNSAFE`` switches verification off (everything is admitted, and the
+  optimizer trusts nothing it did not infer).
+
+Beyond admission, the verifier *infers* two optimizer-facing
+properties, mirroring ``IsDeterministic`` and ``DataAccessKind``:
+
+- ``is_deterministic`` — ``False`` when the body (or a same-module
+  callee, to a bounded depth) reaches ``random``, ``secrets``,
+  ``uuid.uuid4``, ``time.*``, ``datetime.now``, or ``os.urandom``;
+  ``True`` when the source was fully analysed and no marker was found;
+  ``None`` when the source is unavailable (lambdas defined inline,
+  builtins, C extensions) — unknown, so never folded;
+- ``data_access`` — ``"READ"`` when the body calls into a database /
+  FileStream handle it closed over (``self._db.table(...)``,
+  ``store.get_bytes(...)``), else ``"NONE"``.
+
+Verification never hard-fails on *unverifiable* source — an inline
+lambda registers fine, it just stays unverified (and therefore
+unfoldable). Violations of the declared permission set are errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Set, Tuple
+
+from ..errors import BindError
+
+#: the three CLR permission buckets
+PERMISSION_SETS = ("SAFE", "EXTERNAL_ACCESS", "UNSAFE")
+
+#: top-level modules SAFE code must not import or touch (I/O, network,
+#: process control) — EXTERNAL_ACCESS admits them
+_SAFE_FORBIDDEN_MODULES = {
+    "os",
+    "sys",
+    "subprocess",
+    "socket",
+    "shutil",
+    "pathlib",
+    "io",
+    "urllib",
+    "http",
+    "requests",
+    "ftplib",
+    "tempfile",
+    "ctypes",
+    "glob",
+    "fileinput",
+    "multiprocessing",
+    "signal",
+}
+
+#: modules no permission set short of UNSAFE admits (process spawning,
+#: raw memory) — the CLR host's "host protection" categories
+_UNSAFE_ONLY_MODULES = {"subprocess", "ctypes", "signal", "multiprocessing"}
+
+#: builtins SAFE code must not call
+_SAFE_FORBIDDEN_CALLS = {
+    "open",
+    "exec",
+    "eval",
+    "compile",
+    "__import__",
+    "input",
+    "breakpoint",
+}
+
+#: module → attribute names that mark non-determinism; "*" = any use of
+#: the module marks it (mirrors SQL Server's IsDeterministic inference)
+_NONDETERMINISTIC = {
+    "random": {"*"},
+    "secrets": {"*"},
+    "uuid": {"uuid1", "uuid4"},
+    "time": {"*"},
+    "datetime": {"now", "utcnow", "today"},
+    "os": {"urandom", "getrandom"},
+}
+
+#: closed-over variable names that look like database / storage handles
+_DATA_ACCESS_ROOTS = {
+    "db",
+    "_db",
+    "database",
+    "_database",
+    "store",
+    "_store",
+    "filestream",
+    "_filestream",
+    "catalog",
+    "_catalog",
+}
+
+#: method names on those handles that constitute data access
+_DATA_ACCESS_CALLS = {
+    "scan",
+    "seek",
+    "query",
+    "execute",
+    "scalar",
+    "table",
+    "get",
+    "get_bytes",
+    "open_stream",
+    "path_name",
+    "data_length",
+    "exists",
+    "read_bytes",
+    "create_from_file",
+}
+
+#: recursion bound for same-module callee analysis
+_MAX_DEPTH = 3
+
+
+@dataclass
+class Diagnostic:
+    """One verifier / linter finding.
+
+    ``rule`` is a stable machine-readable identifier (``UDX-*`` for
+    registration-time checks, ``LINT-*`` for plan-time lint); ``obj``
+    names the offending function, aggregate, type, or query.
+    """
+
+    rule: str
+    severity: str  # "error" | "warning" | "info"
+    obj: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.obj}: [{self.rule}] {self.message}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+class VerificationError(BindError):
+    """Registration was refused: the extension failed verification.
+
+    Carries the full diagnostic list so callers (tests, the lint CLI)
+    can inspect individual rules.
+    """
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in diagnostics if d.is_error]
+        super().__init__(
+            "; ".join(str(d) for d in errors)
+            or "; ".join(str(d) for d in diagnostics)
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of analysing one callable (or class-method family)."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: None => source unavailable, property unknown
+    is_deterministic: Optional[bool] = None
+    data_access: str = "NONE"
+    #: True when at least one body was parsed and walked
+    analyzed: bool = False
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.analyzed = self.analyzed or other.analyzed
+        if other.data_access == "READ":
+            self.data_access = "READ"
+        if other.is_deterministic is False:
+            self.is_deterministic = False
+        elif self.is_deterministic is None:
+            self.is_deterministic = other.is_deterministic
+
+
+def _underlying_function(func: Callable) -> Optional[types.FunctionType]:
+    """Unwrap methods/partials down to a plain Python function."""
+    seen = 0
+    while seen < 8:
+        seen += 1
+        if isinstance(func, (staticmethod, classmethod)):
+            func = func.__func__
+            continue
+        if inspect.ismethod(func):
+            func = func.__func__
+            continue
+        wrapped = getattr(func, "__wrapped__", None)
+        if wrapped is not None:
+            func = wrapped
+            continue
+        break
+    return func if isinstance(func, types.FunctionType) else None
+
+
+def _parse_source(func: types.FunctionType) -> Optional[ast.AST]:
+    """Parse the function's source to its def/lambda AST node."""
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        # a lambda (or decorated def) embedded mid-expression: getsource
+        # returns the enclosing statement, which may not parse alone
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == func.__name__:
+                return node
+        if isinstance(node, ast.Lambda) and func.__name__ == "<lambda>":
+            return node
+    return None
+
+
+class _BodyWalker(ast.NodeVisitor):
+    """One pass over a function body collecting verifier findings."""
+
+    def __init__(
+        self,
+        owner: str,
+        permission_set: str,
+        func_globals: dict,
+        is_method: bool,
+    ):
+        self.owner = owner
+        self.permission_set = permission_set
+        self.globals = func_globals
+        self.is_method = is_method
+        self.diagnostics: List[Diagnostic] = []
+        self.nondeterministic: List[str] = []
+        self.data_access = False
+        #: plain-name calls that might be same-module helpers
+        self.callee_names: Set[str] = set()
+        #: local aliases introduced by imports inside the body
+        self._local_modules: dict = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _module_of(self, root: Optional[str]) -> Optional[str]:
+        """Resolve a root name to a top-level module name, via local
+        imports first, then the function's globals."""
+        if root is None:
+            return None
+        if root in self._local_modules:
+            return self._local_modules[root]
+        value = self.globals.get(root)
+        if isinstance(value, types.ModuleType):
+            return value.__name__.split(".")[0]
+        return None
+
+    def _diag(self, rule: str, severity: str, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(rule, severity, self.owner, message)
+        )
+
+    def _check_module(self, module: str, how: str) -> None:
+        top = module.split(".")[0]
+        if top in _UNSAFE_ONLY_MODULES and self.permission_set != "UNSAFE":
+            self._diag(
+                "UDX-UNSAFE-MODULE",
+                "error",
+                f"{how} {top!r} requires the UNSAFE permission set "
+                f"(declared {self.permission_set})",
+            )
+        elif top in _SAFE_FORBIDDEN_MODULES and self.permission_set == "SAFE":
+            self._diag(
+                "UDX-SAFE-IMPORT",
+                "error",
+                f"SAFE code must not {how} {top!r} (I/O / process access "
+                "needs EXTERNAL_ACCESS)",
+            )
+
+    # -- visitors -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._local_modules[alias.asname or alias.name.split(".")[0]] = (
+                alias.name.split(".")[0]
+            )
+            self._check_module(alias.name, "import")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            self._check_module(node.module, "import from")
+            top = node.module.split(".")[0]
+            markers = _NONDETERMINISTIC.get(top)
+            if markers:
+                for alias in node.names:
+                    if "*" in markers or alias.name in markers:
+                        self.nondeterministic.append(
+                            f"{top}.{alias.name}"
+                        )
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._diag(
+            "UDX-SAFE-GLOBAL-WRITE",
+            "error" if self.permission_set == "SAFE" else "warning",
+            f"declares global {', '.join(node.names)} — mutation of "
+            "global state is forbidden for SAFE extensions",
+        )
+        self.generic_visit(node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._diag(
+            "UDX-SAFE-CLOSURE-WRITE",
+            "error" if self.permission_set == "SAFE" else "warning",
+            f"declares nonlocal {', '.join(node.names)} — mutation of "
+            "closed-over state is forbidden for SAFE extensions",
+        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in _SAFE_FORBIDDEN_CALLS:
+                if self.permission_set == "SAFE":
+                    self._diag(
+                        "UDX-SAFE-CALL",
+                        "error",
+                        f"SAFE code must not call {name}() "
+                        "(needs EXTERNAL_ACCESS)",
+                    )
+                elif name in ("exec", "eval", "compile", "__import__"):
+                    if self.permission_set != "UNSAFE":
+                        self._diag(
+                            "UDX-UNSAFE-CALL",
+                            "error",
+                            f"calling {name}() requires the UNSAFE "
+                            "permission set",
+                        )
+            else:
+                self.callee_names.add(name)
+        elif isinstance(func, ast.Attribute):
+            root_node = func.value
+            parts = [func.attr]
+            while isinstance(root_node, ast.Attribute):
+                parts.append(root_node.attr)
+                root_node = root_node.value
+            parts.reverse()
+            root = root_node.id if isinstance(root_node, ast.Name) else None
+            method = parts[-1]
+            chain = parts[:-1]
+
+            # module-qualified calls: random.random(), datetime.now(), ...
+            module = self._module_of(root)
+            if module is not None:
+                self._check_module(module, "call into")
+                markers = _NONDETERMINISTIC.get(module)
+                target = parts[0] if chain else method
+                if markers and ("*" in markers or target in markers
+                                or method in markers):
+                    self.nondeterministic.append(f"{module}.{method}")
+            # data access through a closed-over db / store handle
+            handle_names = set(chain)
+            if root is not None and root != "self":
+                handle_names.add(root)
+            if (
+                handle_names & _DATA_ACCESS_ROOTS
+                and method in _DATA_ACCESS_CALLS
+            ):
+                self.data_access = True
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # non-call uses of nondeterministic attributes (rare) still count
+        root, parts = None, []
+        cursor: ast.AST = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        parts.reverse()
+        if isinstance(cursor, ast.Name):
+            root = cursor.id
+        module = self._module_of(root)
+        if module in _NONDETERMINISTIC and parts:
+            markers = _NONDETERMINISTIC[module]
+            if "*" in markers or parts[0] in markers:
+                self.nondeterministic.append(f"{module}.{parts[0]}")
+        self.generic_visit(node)
+
+
+def analyze_callable(
+    func: Callable,
+    owner: str,
+    permission_set: str = "SAFE",
+    depth: int = _MAX_DEPTH,
+    _seen: Optional[Set[int]] = None,
+) -> AnalysisReport:
+    """Analyse one callable's body against ``permission_set``.
+
+    Recurses (bounded) into plain-name callees defined in the same
+    module, so a UDF delegating to a module-level helper is still
+    verified end to end.
+    """
+    report = AnalysisReport()
+    if permission_set not in PERMISSION_SETS:
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-PERMISSION-SET",
+                "error",
+                owner,
+                f"unknown permission set {permission_set!r} "
+                f"(expected one of {', '.join(PERMISSION_SETS)})",
+            )
+        )
+        return report
+    if permission_set == "UNSAFE":
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-UNSAFE",
+                "warning",
+                owner,
+                "UNSAFE permission set: verification skipped, the "
+                "optimizer will trust no inferred properties",
+            )
+        )
+        return report
+
+    plain = _underlying_function(func)
+    if plain is None:
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-NO-SOURCE",
+                "info",
+                owner,
+                "not a plain Python function — properties declared, "
+                "not verified",
+            )
+        )
+        return report
+    node = _parse_source(plain)
+    if node is None:
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-NO-SOURCE",
+                "info",
+                owner,
+                "source unavailable or unparsable (inline lambda?) — "
+                "properties declared, not verified",
+            )
+        )
+        return report
+
+    seen = _seen if _seen is not None else set()
+    if id(plain) in seen:
+        return report
+    seen.add(id(plain))
+
+    is_method = bool(plain.__code__.co_varnames[:1] == ("self",))
+    walker = _BodyWalker(
+        owner, permission_set, plain.__globals__, is_method
+    )
+    walker.visit(node)
+    report.analyzed = True
+    report.diagnostics.extend(walker.diagnostics)
+    if walker.data_access:
+        report.data_access = "READ"
+        if permission_set == "SAFE":
+            report.diagnostics.append(
+                Diagnostic(
+                    "UDX-SAFE-DATA-ACCESS",
+                    "error",
+                    owner,
+                    "SAFE code must not reach database / FileStream "
+                    "storage (DataAccessKind.Read needs EXTERNAL_ACCESS)",
+                )
+            )
+    if walker.nondeterministic:
+        report.is_deterministic = False
+        unique = sorted(set(walker.nondeterministic))
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-NONDETERMINISTIC",
+                "info",
+                owner,
+                "inferred IsDeterministic=false (uses "
+                + ", ".join(unique)
+                + ")",
+            )
+        )
+    else:
+        report.is_deterministic = True
+
+    # bounded transitive analysis of same-module helpers
+    if depth > 0:
+        module_name = plain.__module__
+        for name in sorted(walker.callee_names):
+            callee = plain.__globals__.get(name)
+            target = _underlying_function(callee) if callee else None
+            if target is None or target.__module__ != module_name:
+                continue
+            sub = analyze_callable(
+                target, owner, permission_set, depth - 1, seen
+            )
+            report.merge(sub)
+    return report
+
+
+def analyze_class_methods(
+    cls: type,
+    owner: str,
+    method_names: Tuple[str, ...],
+    permission_set: str = "SAFE",
+) -> AnalysisReport:
+    """Analyse the listed methods of ``cls`` as one extension body."""
+    report = AnalysisReport()
+    any_analyzed = False
+    for method_name in method_names:
+        method = getattr(cls, method_name, None)
+        if method is None:
+            continue
+        sub = analyze_callable(method, f"{owner}.{method_name}",
+                               permission_set)
+        any_analyzed = any_analyzed or sub.analyzed
+        report.merge(sub)
+    report.analyzed = any_analyzed
+    if permission_set == "UNSAFE":
+        # one warning, not one per method
+        unsafe = [
+            d for d in report.diagnostics if d.rule == "UDX-UNSAFE"
+        ]
+        report.diagnostics = [
+            d for d in report.diagnostics if d.rule != "UDX-UNSAFE"
+        ]
+        if unsafe:
+            first = unsafe[0]
+            report.diagnostics.append(
+                Diagnostic(first.rule, first.severity, owner, first.message)
+            )
+    return report

@@ -1,0 +1,591 @@
+"""Static verification of UDx bodies, extension contracts, and SQL lint.
+
+Covers the CLR-host-style verifier (permission sets, determinism and
+data-access inference), the structural contracts checked at
+registration time, the plan-time lint surfaced through ``db.messages``
+and ``sys_dm_verify_results``, and the two optimizer behaviours the
+verified properties unlock: constant folding of deterministic UDFs and
+the forced-serial aggregate for a merge-less UDA.
+
+All UDx bodies live at module level so ``inspect.getsource`` can see
+them — functions defined interactively verify as UDX-NO-SOURCE.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.schema import Column
+from repro.engine.types import UdtCodec, int_type, varchar_type
+from repro.engine.udf import TableValuedFunction, UserDefinedAggregate
+from repro.engine.verify import VerificationError, analyze_callable
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "broken_udx"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+# ---------------------------------------------------------------------------
+# UDx bodies under test (module level: source must be retrievable)
+# ---------------------------------------------------------------------------
+
+def _double_it(x):
+    return x * 2
+
+
+def _jitter(x):
+    import random
+
+    return x + random.random()
+
+
+def _basename(path):
+    import os
+
+    return os.path.basename(path)
+
+
+_COUNTER = 0
+
+
+def _bump(x):
+    global _COUNTER
+    _COUNTER += 1
+    return x
+
+
+def _open_file(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _make_probe(store):
+    def probe(rid):
+        return store.exists(rid)
+
+    return probe
+
+
+def _nondeterministic_helper():
+    import random
+
+    return random.random()
+
+
+def _calls_helper(x):
+    return x + _nondeterministic_helper()
+
+
+_TRACKED_CALLS = []
+
+
+def _tracked_triple(x):
+    _TRACKED_CALLS.append(x)
+    return x * 3
+
+
+class BrokenSum(UserDefinedAggregate):
+    """Claims parallel_safe but provides no merge()."""
+
+    name = "BrokenSum"
+    arity = 1
+    parallel_safe = True
+
+    def init(self):
+        self.total = 0
+
+    def accumulate(self, value):
+        if value is not None:
+            self.total += value
+
+    def terminate(self):
+        return self.total
+
+
+class GoodSum(UserDefinedAggregate):
+    name = "GoodSum"
+    arity = 1
+    parallel_safe = True
+
+    def init(self):
+        self.total = 0
+
+    def accumulate(self, value):
+        if value is not None:
+            self.total += value
+
+    def merge(self, other):
+        self.total += other.total
+
+    def terminate(self):
+        return self.total
+
+
+class ArityLiar(UserDefinedAggregate):
+    name = "ArityLiar"
+    arity = 2
+
+    def init(self):
+        self.seen = 0
+
+    def accumulate(self, value):  # one argument, declares two
+        self.seen += 1
+
+    def merge(self, other):
+        self.seen += other.seen
+
+    def terminate(self):
+        return self.seen
+
+
+class HalfImplemented(UserDefinedAggregate):
+    name = "HalfImplemented"
+    arity = 1
+
+    def accumulate(self, value):
+        pass
+
+    # init() and terminate() are not overridden
+
+
+class MaterializedTvf(TableValuedFunction):
+    name = "Materialized"
+    columns = (Column("pos", int_type()),)
+
+    def create(self, seq):
+        return [(i,) for i in range(len(seq))]
+
+    def fill_row(self, obj):
+        return (obj[0],)
+
+
+class WideFillRowTvf(TableValuedFunction):
+    name = "WideFillRow"
+    columns = (
+        Column("pos", int_type()),
+        Column("base", varchar_type(1)),
+    )
+
+    def create(self, seq):
+        for i, base in enumerate(seq):
+            yield (i, base)
+
+    def fill_row(self, obj):
+        return (obj[0],)  # one value for two declared columns
+
+
+def _codec_encode(value):
+    return value.encode("ascii")
+
+
+def _codec_decode(raw):
+    return raw.decode("ascii")
+
+
+def _codec_decode_lossy(raw):
+    return raw.decode("ascii").lower()
+
+
+# ---------------------------------------------------------------------------
+# permission sets
+# ---------------------------------------------------------------------------
+
+class TestPermissionSets:
+    def test_safe_rejects_io_import(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_scalar("Basename", _basename)
+            rules = {d.rule for d in excinfo.value.diagnostics}
+            assert "UDX-SAFE-IMPORT" in rules
+            # rejected objects never reach the registry ...
+            assert db.catalog.functions.scalar("Basename") is None
+            # ... but their findings land in sys_dm_verify_results
+            rows = db.query(
+                "SELECT object_name, rule, severity "
+                "FROM sys_dm_verify_results WHERE rule = 'UDX-SAFE-IMPORT'"
+            )
+            assert ("Basename", "UDX-SAFE-IMPORT", "error") in rows
+
+    def test_external_access_allows_io_import(self):
+        with Database() as db:
+            db.register_scalar(
+                "Basename", _basename, permission_set="EXTERNAL_ACCESS"
+            )
+            assert db.catalog.functions.scalar("Basename") is not None
+            assert db.scalar("SELECT Basename('/tmp/reads.fastq')") == (
+                "reads.fastq"
+            )
+
+    def test_safe_rejects_open_call(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_scalar("ReadFile", _open_file)
+            assert any(
+                d.rule == "UDX-SAFE-CALL" for d in excinfo.value.diagnostics
+            )
+
+    def test_safe_rejects_global_mutation(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_scalar("Bump", _bump)
+            assert any(
+                d.rule == "UDX-SAFE-GLOBAL-WRITE"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_safe_rejects_data_access(self):
+        with Database() as db:
+            probe = _make_probe(db.filestream)
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_scalar("Probe", probe)
+            assert any(
+                d.rule == "UDX-SAFE-DATA-ACCESS"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_external_access_infers_data_access_read(self):
+        with Database() as db:
+            probe = _make_probe(db.filestream)
+            db.register_scalar(
+                "Probe", probe, permission_set="EXTERNAL_ACCESS"
+            )
+            udf = db.catalog.functions.scalar("Probe")
+            assert udf.data_access == "READ"
+
+    def test_declared_no_data_access_contradicted_by_body(self):
+        with Database() as db:
+            probe = _make_probe(db.filestream)
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_scalar(
+                    "Probe",
+                    probe,
+                    permission_set="EXTERNAL_ACCESS",
+                    data_access="NONE",
+                )
+            assert any(
+                d.rule == "UDX-DATA-ACCESS-MISMATCH"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_unsafe_skips_verification_with_warning(self):
+        with Database() as db:
+            db.register_scalar("Bump", _bump, permission_set="UNSAFE")
+            diags = db.catalog.functions.diagnostics_for("Bump")
+            assert any(d.rule == "UDX-UNSAFE" for d in diags)
+            # nothing was verified, so nothing is inferred
+            assert db.catalog.functions.scalar("Bump").is_deterministic is None
+
+    def test_builtin_callable_tolerated_as_no_source(self):
+        with Database() as db:
+            db.register_scalar("Absolute", abs)
+            diags = db.catalog.functions.diagnostics_for("Absolute")
+            assert any(d.rule == "UDX-NO-SOURCE" for d in diags)
+            assert all(not d.is_error for d in diags)
+            assert db.scalar("SELECT Absolute(-7)") == 7
+
+
+# ---------------------------------------------------------------------------
+# determinism inference
+# ---------------------------------------------------------------------------
+
+class TestDeterminismInference:
+    def test_pure_body_inferred_deterministic(self):
+        with Database() as db:
+            db.register_scalar("DoubleIt", _double_it)
+            assert db.catalog.functions.scalar("DoubleIt").is_deterministic \
+                is True
+
+    def test_random_inferred_nondeterministic(self):
+        with Database() as db:
+            db.register_scalar("Jitter", _jitter)
+            udf = db.catalog.functions.scalar("Jitter")
+            assert udf.is_deterministic is False
+            diags = db.catalog.functions.diagnostics_for("Jitter")
+            assert any(d.rule == "UDX-NONDETERMINISTIC" for d in diags)
+
+    def test_declared_deterministic_overridden_by_inference(self):
+        with Database() as db:
+            db.register_scalar("Jitter", _jitter, deterministic=True)
+            # the declaration loses: the body visibly uses random
+            assert db.catalog.functions.scalar("Jitter").is_deterministic \
+                is False
+            diags = db.catalog.functions.diagnostics_for("Jitter")
+            assert any(
+                d.rule == "UDX-DETERMINISM-MISMATCH" for d in diags
+            )
+
+    def test_inference_recurses_into_module_helpers(self):
+        report = analyze_callable(_calls_helper, "CallsHelper")
+        assert report.is_deterministic is False
+
+
+# ---------------------------------------------------------------------------
+# structural contracts
+# ---------------------------------------------------------------------------
+
+class TestContracts:
+    def test_uda_arity_mismatch_rejected(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_uda(ArityLiar)
+            assert any(
+                d.rule == "UDX-UDA-ARITY" for d in excinfo.value.diagnostics
+            )
+
+    def test_uda_missing_lifecycle_rejected(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_uda(HalfImplemented)
+            lifecycle = [
+                d
+                for d in excinfo.value.diagnostics
+                if d.rule == "UDX-UDA-LIFECYCLE"
+            ]
+            missing = " ".join(d.message for d in lifecycle)
+            assert "init" in missing and "terminate" in missing
+
+    def test_mergeless_parallel_uda_registers_with_warning(self):
+        with Database() as db:
+            db.register_uda(BrokenSum)
+            diags = db.catalog.functions.diagnostics_for("BrokenSum")
+            assert any(d.rule == "UDX-UDA-NO-MERGE" for d in diags)
+            assert BrokenSum._merge_verified is False
+            assert db.catalog.functions.uda("BrokenSum") is BrokenSum
+
+    def test_materialized_tvf_rejected(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_tvf(MaterializedTvf())
+            assert any(
+                d.rule == "UDX-TVF-MATERIALIZED"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_fill_row_arity_mismatch_rejected(self):
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_tvf(WideFillRowTvf())
+            assert any(
+                d.rule == "UDX-TVF-FILLROW-ARITY"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_udt_roundtrip_failure_rejected(self):
+        codec = UdtCodec(
+            name="LossySeq",
+            serialize=_codec_encode,
+            deserialize=_codec_decode_lossy,
+            probe="AcGt",
+        )
+        with Database() as db:
+            with pytest.raises(VerificationError) as excinfo:
+                db.register_udt(codec)
+            assert any(
+                d.rule == "UDX-UDT-ROUNDTRIP"
+                for d in excinfo.value.diagnostics
+            )
+
+    def test_udt_with_probe_verified(self):
+        codec = UdtCodec(
+            name="AsciiSeq",
+            serialize=_codec_encode,
+            deserialize=_codec_decode,
+            probe="ACGT",
+        )
+        with Database() as db:
+            db.register_udt(codec)
+            diags = db.catalog.functions.diagnostics_for("AsciiSeq")
+            assert any(d.rule == "UDX-UDT-VERIFIED" for d in diags)
+
+    def test_udt_without_probe_warns(self):
+        codec = UdtCodec(
+            name="Unprobed",
+            serialize=_codec_encode,
+            deserialize=_codec_decode,
+        )
+        with Database() as db:
+            db.register_udt(codec)
+            diags = db.catalog.functions.diagnostics_for("Unprobed")
+            assert any(d.rule == "UDX-UDT-NO-PROBE" for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# verified properties feed the optimizer
+# ---------------------------------------------------------------------------
+
+def _seeded_db():
+    db = Database()
+    db.register_scalar("DoubleIt", _double_it)
+    db.register_scalar("Jitter", _jitter)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(5), v INT)")
+    db.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(f"({i}, 'g{i % 3}', {i % 2})" for i in range(60))
+    )
+    return db
+
+
+class TestOptimizerIntegration:
+    def test_deterministic_udf_constant_folded_into_seek(self):
+        with _seeded_db() as db:
+            text = db.explain("SELECT v FROM t WHERE id = DoubleIt(21)")
+            assert "Index Seek" in text
+            assert "constant-folded DoubleIt(21) to 42" in text
+            assert db.query("SELECT v FROM t WHERE id = DoubleIt(21)") == [
+                (0,)
+            ]
+
+    def test_nondeterministic_udf_not_folded_and_not_pushed(self):
+        with _seeded_db() as db:
+            op = db.plan("SELECT v FROM t WHERE Jitter(id) >= 0")
+            assert not any(
+                "constant-folded" in note for note in op.plan_notes
+            )
+            assert any(
+                "not pushed down" in note and "Jitter" in note
+                for note in op.plan_notes
+            )
+
+    def test_deterministic_udf_memoised_per_distinct_args(self):
+        with Database() as db:
+            db.register_scalar("Tracked", _tracked_triple)
+            db.execute("CREATE TABLE s (id INT PRIMARY KEY, v INT)")
+            db.execute(
+                "INSERT INTO s VALUES "
+                + ", ".join(f"({i}, {i % 2})" for i in range(10))
+            )
+            _TRACKED_CALLS.clear()
+            rows = db.query("SELECT Tracked(v) FROM s")
+            assert sorted(r[0] for r in rows) == sorted(
+                (i % 2) * 3 for i in range(10)
+            )
+            # 10 rows but only two distinct arguments: the call site's
+            # memo absorbs the other eight evaluations
+            assert len(_TRACKED_CALLS) == 2
+
+
+class TestSerialAggregateRegression:
+    """A merge-less UDA under a parallel hint must fall back to a serial
+    plan — and still produce the serial reference answer."""
+
+    def test_parallel_hint_forced_serial_with_warning(self):
+        with _seeded_db() as db:
+            db.register_uda(BrokenSum)
+            sql = (
+                "SELECT grp, BrokenSum(v) FROM t GROUP BY grp "
+                "OPTION (MAXDOP 4)"
+            )
+            text = db.explain(sql)
+            assert "Gather Streams" not in text  # no parallel exchange
+            assert (
+                "note: serial aggregate forced — uda 'BrokenSum' "
+                "has no verified merge" in text
+            )
+            parallel_hinted = db.query(sql)
+            assert any(
+                "[LINT-SERIAL-AGG]" in message for message in db.messages
+            )
+            serial_reference = db.query(
+                "SELECT grp, BrokenSum(v) FROM t GROUP BY grp "
+                "OPTION (MAXDOP 1)"
+            )
+            assert sorted(parallel_hinted) == sorted(serial_reference)
+            expected = {"g0": 10, "g1": 10, "g2": 10}
+            assert dict(parallel_hinted) == expected
+
+    def test_verified_merge_keeps_parallel_plan(self):
+        with _seeded_db() as db:
+            db.register_uda(GoodSum)
+            text = db.explain(
+                "SELECT grp, GoodSum(v) FROM t GROUP BY grp "
+                "OPTION (MAXDOP 4)"
+            )
+            assert "Gather Streams" in text
+            assert "serial aggregate forced" not in text
+
+
+# ---------------------------------------------------------------------------
+# SQL lint: db.messages and sys_dm_verify_results
+# ---------------------------------------------------------------------------
+
+class TestSqlLint:
+    def test_sarg_warning_reaches_messages_and_view(self):
+        with _seeded_db() as db:
+            db.query("SELECT v FROM t WHERE Jitter(id) > 100")
+            assert any(
+                "[LINT-SARG]" in message and "clustered key" in message
+                for message in db.messages
+            )
+            rows = db.query(
+                "SELECT object_type, object_name, rule, severity "
+                "FROM sys_dm_verify_results WHERE rule = 'LINT-SARG'"
+            )
+            assert rows and rows[0][0] == "plan"
+            assert rows[0][3] == "warning"
+
+    def test_type_mismatch_comparison_warns(self):
+        with _seeded_db() as db:
+            db.query("SELECT id FROM t WHERE grp = 7")
+            assert any(
+                "[LINT-TYPE]" in message for message in db.messages
+            )
+
+    def test_cartesian_join_warns_before_lowering_fails(self):
+        from repro.engine.errors import EngineError
+
+        with _seeded_db() as db:
+            db.execute("CREATE TABLE u (uid INT PRIMARY KEY, w INT)")
+            with pytest.raises(EngineError):
+                db.query(
+                    "SELECT t.id FROM t JOIN u ON t.id < u.uid"
+                )
+            assert any(
+                "[LINT-CARTESIAN]" in message for message in db.messages
+            )
+
+    def test_lint_rows_survive_subsequent_statements(self):
+        with _seeded_db() as db:
+            db.query("SELECT v FROM t WHERE Jitter(id) > 100")
+            # a later statement resets db.messages but not the view
+            db.query("SELECT COUNT(*) FROM t")
+            rows = db.query(
+                "SELECT rule FROM sys_dm_verify_results "
+                "WHERE object_type = 'plan'"
+            )
+            assert ("LINT-SARG",) in rows
+
+    def test_registration_findings_in_view(self):
+        with Database() as db:
+            db.register_uda(BrokenSum)
+            rows = db.query(
+                "SELECT object_type, object_name, severity "
+                "FROM sys_dm_verify_results "
+                "WHERE rule = 'UDX-UDA-NO-MERGE'"
+            )
+            assert ("UDA", "BrokenSum", "warning") in rows
+
+
+# ---------------------------------------------------------------------------
+# the lint CLI
+# ---------------------------------------------------------------------------
+
+class TestLintCli:
+    def test_broken_fixtures_fail_naming_function_and_rule(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--no-builtins", str(FIXTURES)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "UDX-UDA-ARITY" in out and "WeightedMean" in out
+        assert "UDX-TVF-MATERIALIZED" in out and "Kmers" in out
+        assert "UDX-UDT-ROUNDTRIP" in out and "LossySeq" in out
+        assert "UDX-SAFE-IMPORT" in out and "MaskByHostname" in out
+        assert "UDX-UDA-NO-MERGE" in out and "Consensus" in out
+
+    def test_shipped_registry_and_examples_are_clean(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", str(EXAMPLES)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s), 0 warning(s)" in out

@@ -1,0 +1,6 @@
+"""Deliberately-broken UDx modules for the lint CLI and test suite.
+
+Each module exposes ``register(db)`` and violates exactly one verifier
+rule; ``repro-genomics lint tests/fixtures/broken_udx`` must exit
+non-zero naming the offending function and rule.
+"""

@@ -1,0 +1,26 @@
+"""UDA whose accumulate() arity contradicts its declaration —
+UDX-UDA-ARITY."""
+
+from repro.engine.udf import UserDefinedAggregate
+
+
+class WeightedMean(UserDefinedAggregate):
+    name = "WeightedMean"
+    arity = 2  # declared (value, weight) ...
+    parallel_safe = False
+
+    def init(self):
+        self.total = 0.0
+        self.weight = 0.0
+
+    def accumulate(self, value):  # ... but takes only the value
+        if value is not None:
+            self.total += value
+            self.weight += 1.0
+
+    def terminate(self):
+        return self.total / self.weight if self.weight else None
+
+
+def register(db):
+    db.register_uda(WeightedMean)

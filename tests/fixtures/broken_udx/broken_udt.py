@@ -1,0 +1,24 @@
+"""UDT codec whose probe fails the serialize/deserialize round-trip —
+UDX-UDT-ROUNDTRIP."""
+
+from repro.engine.types import UdtCodec
+
+
+def _serialize(value) -> bytes:
+    return value.encode("ascii")
+
+
+def _deserialize(raw: bytes) -> str:
+    return raw.decode("ascii").lower()  # not the inverse: case is lost
+
+
+LOSSY_SEQ_UDT = UdtCodec(
+    name="LossySeq",
+    serialize=_serialize,
+    deserialize=_deserialize,
+    probe="AcGt",
+)
+
+
+def register(db):
+    db.register_udt(LOSSY_SEQ_UDT)

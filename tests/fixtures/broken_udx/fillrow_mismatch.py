@@ -1,0 +1,26 @@
+"""TVF whose fill_row() tuple width contradicts the declared columns —
+UDX-TVF-FILLROW-ARITY."""
+
+from repro.engine.schema import Column
+from repro.engine.types import int_type, varchar_type
+from repro.engine.udf import TableValuedFunction
+
+
+class BasesTvf(TableValuedFunction):
+    name = "Bases"
+    columns = (
+        Column("pos", int_type()),
+        Column("base", varchar_type(1)),
+        Column("context", varchar_type(8)),
+    )
+
+    def create(self, seq):
+        for i, base in enumerate(seq):
+            yield (i, base)
+
+    def fill_row(self, obj):
+        return (obj[0], obj[1])  # two values for three declared columns
+
+
+def register(db):
+    db.register_tvf(BasesTvf())

@@ -1,0 +1,24 @@
+"""TVF whose create() returns a materialised list — UDX-TVF-MATERIALIZED."""
+
+from repro.engine.schema import Column
+from repro.engine.types import int_type, varchar_type
+from repro.engine.udf import TableValuedFunction
+
+
+class KmersTvf(TableValuedFunction):
+    name = "Kmers"
+    columns = (
+        Column("pos", int_type()),
+        Column("kmer", varchar_type(64)),
+    )
+
+    def create(self, seq, k):
+        # builds the whole result in memory instead of streaming
+        return [(i, seq[i : i + k]) for i in range(len(seq) - k + 1)]
+
+    def fill_row(self, obj):
+        return (obj[0], obj[1])
+
+
+def register(db):
+    db.register_tvf(KmersTvf())

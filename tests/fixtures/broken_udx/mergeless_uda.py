@@ -1,0 +1,28 @@
+"""UDA declared parallel-safe without a merge() — UDX-UDA-NO-MERGE
+(warning: registration succeeds but the planner forces serial plans)."""
+
+from repro.engine.udf import UserDefinedAggregate
+
+
+class Consensus(UserDefinedAggregate):
+    name = "Consensus"
+    arity = 1
+    parallel_safe = True  # claims mergeability ...
+
+    def init(self):
+        self.counts = {}
+
+    def accumulate(self, base):
+        if base is not None:
+            self.counts[base] = self.counts.get(base, 0) + 1
+
+    # ... but provides no merge()
+
+    def terminate(self):
+        if not self.counts:
+            return None
+        return max(sorted(self.counts), key=self.counts.get)
+
+
+def register(db):
+    db.register_uda(Consensus)

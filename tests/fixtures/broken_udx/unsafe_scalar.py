@@ -1,0 +1,11 @@
+"""SAFE scalar UDF whose body reaches the OS — UDX-SAFE-IMPORT."""
+
+
+def mask_by_hostname(seq):
+    import os
+
+    return seq if os.environ.get("KEEP") else seq.lower()
+
+
+def register(db):
+    db.register_scalar("MaskByHostname", mask_by_hostname)
