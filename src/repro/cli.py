@@ -312,7 +312,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 def _split_sql_script(text: str) -> List[str]:
     """Split a .sql script into statements (``;`` terminators, ``--``
-    line comments stripped, quoted strings respected)."""
+    line and ``/* */`` block comments stripped, quoted strings
+    respected)."""
     statements: List[str] = []
     current: List[str] = []
     in_string = False
@@ -337,6 +338,11 @@ def _split_sql_script(text: str) -> List[str]:
         if ch == "-" and text[i : i + 2] == "--":
             newline = text.find("\n", i)
             i = len(text) if newline < 0 else newline
+            continue
+        if ch == "/" and text[i : i + 2] == "/*":
+            end = text.find("*/", i + 2)
+            i = len(text) if end < 0 else end + 2
+            current.append(" ")  # comments separate tokens
             continue
         if ch == ";":
             statement = "".join(current).strip()
@@ -374,8 +380,12 @@ def _lint_register_builtins(db) -> None:
 
 
 def _lint_python_file(db, path: Path, diagnostics: List) -> None:
-    """Load one UDx module and run its ``register(db)`` through the
-    verifier; findings (including rejections) are collected."""
+    """Import one UDx module and run its ``register(db)`` through the
+    verifier; findings (including rejections) are collected.
+
+    Note: importing the module executes its top-level code — the same
+    way ``CREATE ASSEMBLY`` loads the assembly it is about to verify.
+    The registered bodies themselves are only parsed, never called."""
     import importlib.util
 
     from .engine.verify.udx_verifier import Diagnostic, VerificationError
@@ -411,15 +421,18 @@ def _lint_python_file(db, path: Path, diagnostics: List) -> None:
 
 
 def _lint_sql_file(db, path: Path, diagnostics: List) -> None:
-    """Execute a .sql script; plan-time lint findings land in
-    ``db.messages``/the lint log, bind errors become diagnostics."""
+    """Statically check a .sql script: every statement is parsed,
+    bound, and (for queries) planned so the plan-time lint fires, but
+    queries and DML are never executed — only schema statements apply,
+    against the scratch lint catalog, so later statements bind.
+    Findings land in the lint log; bind errors become diagnostics."""
     from .engine.errors import EngineError
     from .engine.verify.udx_verifier import Diagnostic
 
     before = len(db.lint_rows())
     for statement in _split_sql_script(path.read_text(encoding="utf-8")):
         try:
-            db.execute(statement)
+            db.check(statement)
         except EngineError as exc:
             diagnostics.append(
                 Diagnostic(
@@ -570,13 +583,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="statically verify UDx modules and lint .sql scripts "
-        "(exit 1 on errors)",
+        "(exit 1 on errors); queries are planned, never executed",
     )
     lint.add_argument(
         "paths",
         nargs="*",
-        help=".sql scripts, UDx .py modules (with a register(db) entry "
-        "point), or directories of either",
+        help=".sql scripts (planned and bound, not executed), UDx .py "
+        "modules (imported so their register(db) entry point can run "
+        "through the verifier), or directories of either",
     )
     lint.add_argument(
         "--no-builtins",

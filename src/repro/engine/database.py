@@ -328,6 +328,68 @@ class Database:
             raise EngineError("plan() requires a SELECT statement")
         return self._planner.plan_select(stmt)
 
+    def check(self, sql: str) -> int:
+        """Statically check a SQL script without running it (the path
+        ``repro-genomics lint`` takes): SELECT and EXPLAIN statements
+        are planned — so the plan-time lint fires — but never executed;
+        INSERT/UPDATE/DELETE are bound against the catalog (table,
+        column, and expression binding, VALUES arity) without touching
+        a row; only schema and session statements (CREATE/DROP/
+        TRUNCATE/SET) apply, so later statements bind against the
+        schema the script builds. Returns the number of statements
+        checked."""
+        self.messages = []
+        statements = parse_sql(sql)
+        for stmt in statements:
+            self._check_statement(stmt)
+        return len(statements)
+
+    def _check_statement(self, stmt) -> None:
+        if isinstance(stmt, ast.SelectStmt):
+            self._planner.plan_select(stmt)
+            return
+        if isinstance(stmt, ast.ExplainStmt):
+            self._planner.plan_select(stmt.select)
+            return
+        if isinstance(stmt, ast.InsertStmt):
+            table = self.catalog.table(stmt.table)
+            if stmt.values is not None:
+
+                def constants_only(ref: ColumnRef) -> int:
+                    raise BindError(
+                        f"INSERT VALUES must be constant expressions, "
+                        f"found {ref}"
+                    )
+
+                compiler = ExpressionCompiler(
+                    constants_only, self.catalog.functions
+                )
+                value_rows = [
+                    [compiler.compile(expr)(()) for expr in row]
+                    for row in stmt.values
+                ]
+                for _ in self._full_rows(table, stmt.columns, value_rows):
+                    pass  # arity / column binding only; nothing inserted
+            else:
+                self._planner.plan_select(stmt.select)
+            return
+        if isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
+            from .executor import TableScan
+
+            table = self.catalog.table(stmt.table)
+            compiler = ExpressionCompiler(
+                make_binder(TableScan(table)), self.catalog.functions
+            )
+            if isinstance(stmt, ast.UpdateStmt):
+                for col, expr in stmt.assignments:
+                    table.schema.column_index(col)
+                    compiler.compile(expr)
+            if stmt.where is not None:
+                compiler.compile(stmt.where)
+            return
+        # schema / session statements must apply for later binding
+        self._execute_statement(stmt)
+
     def _execute_statement(self, stmt) -> Any:
         if isinstance(stmt, ast.SelectStmt):
             op = self._planner.plan_select(stmt)

@@ -16,12 +16,18 @@ analysed with :mod:`ast`:
 Beyond admission, the verifier *infers* two optimizer-facing
 properties, mirroring ``IsDeterministic`` and ``DataAccessKind``:
 
-- ``is_deterministic`` — ``False`` when the body (or a same-module
-  callee, to a bounded depth) reaches ``random``, ``secrets``,
-  ``uuid.uuid4``, ``time.*``, ``datetime.now``, or ``os.urandom``;
-  ``True`` when the source was fully analysed and no marker was found;
-  ``None`` when the source is unavailable (lambdas defined inline,
-  builtins, C extensions) — unknown, so never folded;
+- ``is_deterministic`` — ``False`` when the body (or an analysed
+  same-module callee, to a bounded depth) reaches ``random``,
+  ``secrets``, ``uuid.uuid4``, ``time.*``, ``datetime.now``, or
+  ``os.urandom``; ``True`` only when the source was fully analysed, no
+  marker was found, and *every* reachable call target was accounted
+  for — plain-name callees must resolve to analysed same-module
+  functions or known-pure builtins, and module-qualified calls must
+  target audited stdlib modules; ``None`` in every other case — source
+  unavailable (lambdas defined inline, builtins, C extensions),
+  cross-module or unresolvable callees, recursion depth exhausted —
+  unknown, so never folded or memoised. Method calls on local values
+  (``seq.upper()``) are assumed to be pure data transformations;
 - ``data_access`` — ``"READ"`` when the body calls into a database /
   FileStream handle it closed over (``self._db.table(...)``,
   ``store.get_bytes(...)``), else ``"NONE"``.
@@ -91,6 +97,37 @@ _NONDETERMINISTIC = {
     "time": {"*"},
     "datetime": {"now", "utcnow", "today"},
     "os": {"urandom", "getrandom"},
+}
+
+#: builtins a SAFE deterministic body may call without losing its
+#: verified ``IsDeterministic`` (pure computation and constructors;
+#: exception types cover ``raise`` statements)
+_DETERMINISTIC_BUILTINS = {
+    "abs", "all", "any", "ascii", "bin", "bool", "bytearray", "bytes",
+    "callable", "chr", "complex", "dict", "divmod", "enumerate",
+    "filter", "float", "format", "frozenset", "getattr", "hasattr",
+    "hash", "hex", "int", "isinstance", "issubclass", "iter", "len",
+    "list", "map", "max", "min", "next", "oct", "ord", "pow", "range",
+    "repr", "reversed", "round", "set", "slice", "sorted", "str",
+    "sum", "tuple", "type", "zip",
+    "ArithmeticError", "AssertionError", "AttributeError", "Exception",
+    "IndexError", "KeyError", "LookupError", "NotImplementedError",
+    "OverflowError", "RuntimeError", "StopIteration", "TypeError",
+    "ValueError", "ZeroDivisionError",
+}
+
+#: stdlib modules audited as deterministic: a call into one of these
+#: (``math.sqrt``, ``re.match``) keeps the verdict; a module-qualified
+#: call anywhere else leaves ``IsDeterministic`` unverified. Modules
+#: listed in ``_NONDETERMINISTIC`` with *specific* markers are audited
+#: too — their other attributes (``datetime.date``, ``os.path.join``)
+#: count as deterministic.
+_DETERMINISTIC_MODULES = {
+    "abc", "array", "base64", "binascii", "bisect", "cmath",
+    "collections", "copy", "dataclasses", "decimal", "enum",
+    "fractions", "functools", "hashlib", "heapq", "itertools", "json",
+    "math", "numbers", "operator", "re", "statistics", "string",
+    "struct", "textwrap", "typing", "unicodedata", "zlib",
 }
 
 #: closed-over variable names that look like database / storage handles
@@ -179,14 +216,23 @@ class AnalysisReport:
     analyzed: bool = False
 
     def merge(self, other: "AnalysisReport") -> None:
+        """Fold a callee / sibling-method report into this one.
+
+        Determinism combines as a three-valued AND: ``False``
+        dominates, and an unverifiable callee (``None`` — source
+        unavailable, not analysed) taints an otherwise-``True`` parent
+        down to ``None``, so it is never folded or memoised.
+        """
         self.diagnostics.extend(other.diagnostics)
         self.analyzed = self.analyzed or other.analyzed
         if other.data_access == "READ":
             self.data_access = "READ"
-        if other.is_deterministic is False:
+        if self.is_deterministic is False or other.is_deterministic is False:
             self.is_deterministic = False
-        elif self.is_deterministic is None:
-            self.is_deterministic = other.is_deterministic
+        elif self.is_deterministic is None or other.is_deterministic is None:
+            self.is_deterministic = None
+        else:
+            self.is_deterministic = True
 
 
 def _underlying_function(func: Callable) -> Optional[types.FunctionType]:
@@ -248,6 +294,9 @@ class _BodyWalker(ast.NodeVisitor):
         self.data_access = False
         #: plain-name calls that might be same-module helpers
         self.callee_names: Set[str] = set()
+        #: module-qualified calls whose determinism cannot be vouched
+        #: for (the target module is neither audited nor marked)
+        self.unverified_calls: Set[str] = set()
         #: local aliases introduced by imports inside the body
         self._local_modules: dict = {}
 
@@ -370,6 +419,8 @@ class _BodyWalker(ast.NodeVisitor):
                 if markers and ("*" in markers or target in markers
                                 or method in markers):
                     self.nondeterministic.append(f"{module}.{method}")
+                elif markers is None and module not in _DETERMINISTIC_MODULES:
+                    self.unverified_calls.add(f"{module}.{method}")
             # data access through a closed-over db / store handle
             handle_names = set(chain)
             if root is not None and root != "self":
@@ -463,6 +514,12 @@ def analyze_callable(
 
     seen = _seen if _seen is not None else set()
     if id(plain) in seen:
+        # recursion cycle: this body is already being analysed further
+        # up the stack, so return the neutral element for merge() —
+        # its findings are accounted for there, and an empty unanalysed
+        # report must not taint the caller's verdict
+        report.analyzed = True
+        report.is_deterministic = True
         return report
     seen.add(id(plain))
 
@@ -501,18 +558,49 @@ def analyze_callable(
     else:
         report.is_deterministic = True
 
-    # bounded transitive analysis of same-module helpers
-    if depth > 0:
-        module_name = plain.__module__
-        for name in sorted(walker.callee_names):
-            callee = plain.__globals__.get(name)
-            target = _underlying_function(callee) if callee else None
-            if target is None or target.__module__ != module_name:
-                continue
-            sub = analyze_callable(
-                target, owner, permission_set, depth - 1, seen
+    # Transitive analysis of callees. IsDeterministic=true is only kept
+    # when *every* plain-name call target is accounted for: analysed
+    # same-module helpers (bounded depth), known-pure builtins, or
+    # callables from audited stdlib modules. Anything else — a helper
+    # imported from another module, an unresolvable name, a class, a
+    # callee past the depth bound — leaves the verdict unknown (None),
+    # so the optimizer neither folds nor memoises the call.
+    unverified = set(walker.unverified_calls)
+    module_name = plain.__module__
+    for name in sorted(walker.callee_names):
+        callee = plain.__globals__.get(name)
+        if callee is None:
+            if name not in _DETERMINISTIC_BUILTINS:
+                unverified.add(name)
+            continue
+        target = _underlying_function(callee)
+        if target is not None and target.__module__ == module_name:
+            if depth > 0:
+                sub = analyze_callable(
+                    target, owner, permission_set, depth - 1, seen
+                )
+                report.merge(sub)
+            else:
+                unverified.add(name)
+            continue
+        callee_module = (getattr(callee, "__module__", "") or "").split(
+            "."
+        )[0]
+        if callee_module not in _DETERMINISTIC_MODULES:
+            unverified.add(name)
+    if unverified and report.is_deterministic is True:
+        report.is_deterministic = None
+        listed = sorted(unverified)
+        shown = ", ".join(listed[:5]) + (", ..." if len(listed) > 5 else "")
+        report.diagnostics.append(
+            Diagnostic(
+                "UDX-UNVERIFIED-CALL",
+                "info",
+                owner,
+                "IsDeterministic left unverified — calls that could "
+                f"not be statically analysed: {shown}",
             )
-            report.merge(sub)
+        )
     return report
 
 
@@ -524,6 +612,9 @@ def analyze_class_methods(
 ) -> AnalysisReport:
     """Analyse the listed methods of ``cls`` as one extension body."""
     report = AnalysisReport()
+    # start from the merge() neutral element; any unverifiable method
+    # taints the verdict down to None, any marker use down to False
+    report.is_deterministic = True
     any_analyzed = False
     for method_name in method_names:
         method = getattr(cls, method_name, None)
@@ -534,6 +625,8 @@ def analyze_class_methods(
         any_analyzed = any_analyzed or sub.analyzed
         report.merge(sub)
     report.analyzed = any_analyzed
+    if not any_analyzed:
+        report.is_deterministic = None
     if permission_set == "UNSAFE":
         # one warning, not one per method
         unsafe = [

@@ -76,6 +76,34 @@ def _calls_helper(x):
     return x + _nondeterministic_helper()
 
 
+from repro.genomics.quality import decode_phred
+
+
+def _calls_cross_module(quals):
+    # decode_phred resolves through module globals to a function from
+    # repro.genomics.quality — another module the verifier does not
+    # recurse into, so determinism stays unknown
+    return decode_phred(quals)
+
+
+def _calls_unresolvable(x):
+    return _undefined_helper(x)  # noqa: F821 — intentionally unbound
+
+
+# a same-module helper whose source inspect.getsource cannot retrieve
+exec("def _no_source_helper(x):\n    return x + 1", globals())
+
+
+def _calls_no_source(x):
+    return _no_source_helper(x)  # noqa: F821 — defined by exec above
+
+
+def _uses_math(x):
+    import math
+
+    return math.sqrt(abs(x))
+
+
 _TRACKED_CALLS = []
 
 
@@ -317,6 +345,52 @@ class TestDeterminismInference:
     def test_inference_recurses_into_module_helpers(self):
         report = analyze_callable(_calls_helper, "CallsHelper")
         assert report.is_deterministic is False
+
+    def test_cross_module_callee_leaves_determinism_unverified(self):
+        # the soundness contract: True only when every call target was
+        # analysed — a helper from another module is not, so the UDF
+        # must not be folded or memoised
+        report = analyze_callable(_calls_cross_module, "CrossMod")
+        assert report.is_deterministic is None
+        assert any(
+            d.rule == "UDX-UNVERIFIED-CALL" for d in report.diagnostics
+        )
+
+    def test_unresolvable_callee_leaves_determinism_unverified(self):
+        report = analyze_callable(_calls_unresolvable, "Unresolvable")
+        assert report.is_deterministic is None
+
+    def test_sourceless_same_module_callee_taints_verdict(self):
+        # an exec-defined helper has no retrievable source: the callee
+        # report is unanalysed and must taint the parent down to None
+        report = analyze_callable(_calls_no_source, "CallsNoSource")
+        assert report.is_deterministic is None
+
+    def test_audited_stdlib_calls_keep_determinism(self):
+        report = analyze_callable(_uses_math, "UsesMath")
+        assert report.is_deterministic is True
+
+    def test_merge_unverifiable_report_taints_true_parent(self):
+        from repro.engine.verify.udx_verifier import AnalysisReport
+
+        parent = AnalysisReport(is_deterministic=True, analyzed=True)
+        parent.merge(AnalysisReport())  # source unavailable: None
+        assert parent.is_deterministic is None
+        # False still dominates an unknown
+        parent.merge(AnalysisReport(is_deterministic=False, analyzed=True))
+        assert parent.is_deterministic is False
+
+    def test_unverified_udf_not_constant_folded(self):
+        with _seeded_db() as db:
+            db.register_scalar("CrossMod", _calls_cross_module)
+            assert (
+                db.catalog.functions.scalar("CrossMod").is_deterministic
+                is None
+            )
+            op = db.plan("SELECT v FROM t WHERE id = CrossMod('I')")
+            assert not any(
+                "constant-folded" in note for note in op.plan_notes
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -568,6 +642,56 @@ class TestSqlLint:
 # ---------------------------------------------------------------------------
 # the lint CLI
 # ---------------------------------------------------------------------------
+
+class TestStaticCheck:
+    """``db.check`` (the lint CLI's SQL path) plans and binds without
+    executing: lint findings fire, but no row is read or written."""
+
+    def test_check_runs_lint_without_executing_dml(self):
+        with _seeded_db() as db:
+            before = db.scalar("SELECT COUNT(*) FROM t")
+            db.check("INSERT INTO t VALUES (999, 'g9', 1)")
+            db.check("UPDATE t SET v = 0 WHERE id = 1")
+            db.check("DELETE FROM t")
+            assert db.scalar("SELECT COUNT(*) FROM t") == before
+            assert db.scalar("SELECT v FROM t WHERE id = 1") == 1
+
+    def test_check_fires_plan_lint_for_selects(self):
+        with _seeded_db() as db:
+            db.check("SELECT v FROM t WHERE Jitter(id) > 100")
+            assert any(
+                rule == "LINT-SARG"
+                for (_o, _n, rule, _s, _m) in db.lint_rows()
+            )
+
+    def test_check_applies_ddl_so_later_statements_bind(self):
+        from repro.engine.errors import EngineError
+
+        with Database() as db:
+            db.check(
+                "CREATE TABLE c (id INT PRIMARY KEY, v INT)"
+            )
+            db.check("SELECT v FROM c WHERE id = 1")  # binds
+            with pytest.raises(EngineError):
+                db.check("SELECT nope FROM c")
+
+    def test_check_rejects_unknown_insert_column(self):
+        from repro.engine.errors import EngineError
+
+        with _seeded_db() as db:
+            with pytest.raises(EngineError):
+                db.check("INSERT INTO t (id, nope) VALUES (999, 1)")
+
+    def test_split_sql_script_handles_block_comments(self):
+        from repro.cli import _split_sql_script
+
+        script = (
+            "SELECT 1; /* a ';' and an 'unclosed quote inside */ "
+            "SELECT/* inline */2;"
+        )
+        statements = _split_sql_script(script)
+        assert statements == ["SELECT 1", "SELECT 2"]
+
 
 class TestLintCli:
     def test_broken_fixtures_fail_naming_function_and_rule(self, capsys):
