@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Typ
 
 from .catalog import Catalog
 from .errors import BindError, ConstraintViolation, EngineError
-from .executor import MaterializedResult, PhysicalOperator
+from .executor import MaterializedResult, PhysicalOperator, collect_rows
 from .expressions import ColumnRef, ExpressionCompiler
 from .filestream import FileStreamStore
 from .metrics import Counters, MetricsRegistry, make_system_views
@@ -99,6 +99,9 @@ class Database:
         self.filestream = FileStreamStore(self.data_dir / "filestream")
         self.catalog = Catalog(filestream_store=self.filestream)
         self.default_dop = default_dop
+        #: execution-mode knob: "auto" lets the planner pick batch mode
+        #: per operator, "row" forces the row-at-a-time interpreter
+        self.execution_mode = "auto"
         self._planner = Planner(self)
         self._enforce_foreign_keys = True
         self._procedures = None
@@ -261,7 +264,8 @@ class Database:
                         f"Scan count {delta.get('scans', 0)}, "
                         f"logical reads {logical}, "
                         f"page cache misses "
-                        f"{delta.get('page_cache_misses', 0)}."
+                        f"{delta.get('page_cache_misses', 0)}, "
+                        f"batch reads {delta.get('batch_reads', 0)}."
                     )
         if self.statistics_time:
             self.messages.append(
@@ -316,8 +320,7 @@ class Database:
         it with estimated *and* actual row counts per operator."""
         op = self._planner.plan_select(select)
         op.enable_timing()
-        for _ in op:
-            pass
+        collect_rows(op)
         return op.explain(analyze=True)
 
     def plan(self, sql: str) -> PhysicalOperator:
@@ -394,7 +397,7 @@ class Database:
         if isinstance(stmt, ast.SelectStmt):
             op = self._planner.plan_select(stmt)
             columns = [c.rsplit(".", 1)[-1] for c in op.columns]
-            return MaterializedResult(columns, list(op))
+            return MaterializedResult(columns, collect_rows(op))
         if isinstance(stmt, ast.ExplainStmt):
             if stmt.analyze:
                 return self._explain_analyze(stmt.select)

@@ -9,6 +9,7 @@ from .operators import (
     ClusteredIndexSeek,
     Distinct,
     Filter,
+    FusedFilterProject,
     HashAggregate,
     Project,
     RowNumberWindow,
@@ -24,6 +25,12 @@ from .parallel import (
     ParallelStats,
     lpt_makespan,
 )
+from .vector import (
+    DEFAULT_BATCH_SIZE,
+    RowBatch,
+    batches_from_rows,
+    collect_rows,
+)
 
 __all__ = [
     "AggregateSpec",
@@ -31,8 +38,10 @@ __all__ = [
     "ClusteredIndexScan",
     "ClusteredIndexSeek",
     "CrossApply",
+    "DEFAULT_BATCH_SIZE",
     "Distinct",
     "Filter",
+    "FusedFilterProject",
     "HashAggregate",
     "HashJoin",
     "MaterializedResult",
@@ -43,6 +52,7 @@ __all__ = [
     "ParallelStats",
     "PhysicalOperator",
     "Project",
+    "RowBatch",
     "RowNumberWindow",
     "SecondaryIndexSeek",
     "Sort",
@@ -50,5 +60,7 @@ __all__ = [
     "TableScan",
     "Top",
     "TvfScan",
+    "batches_from_rows",
+    "collect_rows",
     "lpt_makespan",
 ]

@@ -203,6 +203,10 @@ class AggregateSpec:
         ``COUNT(*)`` / ``COUNT(DISTINCT x)`` flags.
     uda_class:
         The UDA class when ``name`` is user-defined.
+    arg_index:
+        When the single argument is a plain column, its input-row
+        position — lets batch mode extract values by index instead of
+        calling the compiled closure per row.
     """
 
     def __init__(
@@ -212,12 +216,14 @@ class AggregateSpec:
         star: bool = False,
         distinct: bool = False,
         uda_class: Optional[Type[UserDefinedAggregate]] = None,
+        arg_index: Optional[int] = None,
     ):
         self.name = name.lower()
         self.arg_fns = list(arg_fns)
         self.star = star
         self.distinct = distinct
         self.uda_class = uda_class
+        self.arg_index = arg_index
         if uda_class is None and self.name not in (
             "count",
             "count_big",
@@ -265,8 +271,207 @@ class AggregateSpec:
             return _Avg(fn)
         raise BindError(f"unknown aggregate {self.name!r}")
 
+    @property
+    def batch_capable(self) -> bool:
+        """Does a batch accumulator exist for this aggregate?
+
+        UDAs stay row-at-a-time (their accumulate contract is per-row);
+        every built-in with at most one argument is coverable."""
+        if self.uda_class is not None:
+            return False
+        return self.star or len(self.arg_fns) == 1
+
     def describe(self) -> str:
         if self.star:
             return f"{self.name.upper()}(*)"
         inner = "DISTINCT ..." if self.distinct else "..."
         return f"{self.name.upper()}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# batch-mode accumulators
+# ---------------------------------------------------------------------------
+#
+# Row mode keeps one AggregateState per (group, aggregate) and dispatches
+# ``state.add(row)`` per input row.  Batch mode inverts that: one
+# accumulator per aggregate holds a dict keyed by group key and consumes a
+# whole batch per call, so the per-row work is a zip over two lists.  The
+# numeric semantics deliberately replicate the row-mode states item for
+# item (SUM starts from int 0, AVG from float 0.0, additions happen in
+# input order) so both modes produce bit-identical results.
+
+
+class BatchAccumulator:
+    """Per-aggregate, all-groups batch accumulator."""
+
+    def add_batch(self, keys: Sequence[Any], batch: Sequence[Sequence[Any]]) -> None:
+        raise NotImplementedError
+
+    def result(self, key: Any) -> Any:
+        raise NotImplementedError
+
+
+class _BatchCountStar(BatchAccumulator):
+    __slots__ = ("counts",)
+
+    def __init__(self, _getter=None):
+        from collections import Counter
+
+        self.counts = Counter()
+
+    def add_batch(self, keys, batch):
+        self.counts.update(keys)
+
+    def result(self, key):
+        return self.counts[key]
+
+
+class _BatchCountValue(BatchAccumulator):
+    __slots__ = ("counts", "_getter")
+
+    def __init__(self, getter):
+        self.counts: dict = {}
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        counts = self.counts
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                counts[key] = counts.get(key, 0) + 1
+
+    def result(self, key):
+        return self.counts.get(key, 0)
+
+
+class _BatchCountDistinct(BatchAccumulator):
+    __slots__ = ("values", "_getter")
+
+    def __init__(self, getter):
+        self.values: dict = {}
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        values = self.values
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                bucket = values.get(key)
+                if bucket is None:
+                    values[key] = {value}
+                else:
+                    bucket.add(value)
+
+    def result(self, key):
+        return len(self.values.get(key, ()))
+
+
+class _BatchSum(BatchAccumulator):
+    __slots__ = ("totals", "_getter")
+
+    def __init__(self, getter):
+        self.totals: dict = {}
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        totals = self.totals
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                # absent key starts from int 0, exactly like _Sum
+                totals[key] = totals.get(key, 0) + value
+
+    def result(self, key):
+        # a group whose values were all NULL never materialises a total,
+        # matching _Sum's seen=False -> NULL
+        return self.totals.get(key)
+
+
+class _BatchMin(BatchAccumulator):
+    __slots__ = ("best", "_getter")
+
+    def __init__(self, getter):
+        self.best: dict = {}
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        best = self.best
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                held = best.get(key)
+                if held is None or value < held:
+                    best[key] = value
+
+    def result(self, key):
+        return self.best.get(key)
+
+
+class _BatchMax(BatchAccumulator):
+    __slots__ = ("best", "_getter")
+
+    def __init__(self, getter):
+        self.best: dict = {}
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        best = self.best
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                held = best.get(key)
+                if held is None or value > held:
+                    best[key] = value
+
+    def result(self, key):
+        return self.best.get(key)
+
+
+class _BatchAvg(BatchAccumulator):
+    __slots__ = ("states", "_getter")
+
+    def __init__(self, getter):
+        self.states: dict = {}  # key -> [total, count]
+        self._getter = getter
+
+    def add_batch(self, keys, batch):
+        states = self.states
+        for key, value in zip(keys, self._getter(batch)):
+            if value is not None:
+                state = states.get(key)
+                if state is None:
+                    # float 0.0 start, matching _Avg
+                    states[key] = [0.0 + value, 1]
+                else:
+                    state[0] += value
+                    state[1] += 1
+
+    def result(self, key):
+        state = self.states.get(key)
+        return state[0] / state[1] if state else None
+
+
+def make_batch_accumulator(spec: AggregateSpec) -> BatchAccumulator:
+    """Build the batch accumulator mirroring ``spec.new_state()``."""
+    if not spec.batch_capable:
+        raise BindError(f"aggregate {spec.name!r} has no batch accumulator")
+    if spec.star:
+        return _BatchCountStar()
+    if spec.arg_index is not None:
+        index = spec.arg_index
+
+        def getter(batch, index=index):
+            return [row[index] for row in batch]
+
+    else:
+        fn = spec.arg_fns[0]
+
+        def getter(batch, fn=fn):
+            return [fn(row) for row in batch]
+
+    if spec.name in ("count", "count_big"):
+        if spec.distinct:
+            return _BatchCountDistinct(getter)
+        return _BatchCountValue(getter)
+    if spec.name == "sum":
+        return _BatchSum(getter)
+    if spec.name == "min":
+        return _BatchMin(getter)
+    if spec.name == "max":
+        return _BatchMax(getter)
+    return _BatchAvg(getter)

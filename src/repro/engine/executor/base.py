@@ -25,6 +25,8 @@ from __future__ import annotations
 import time
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from .vector import RowBatch, batches_from_rows
+
 
 class PhysicalOperator:
     """Base class for all physical operators."""
@@ -36,6 +38,9 @@ class PhysicalOperator:
     #: operators that must consume their entire input before producing
     #: the first output row (sorts, hash builds) mark themselves blocking
     blocking: bool = False
+    #: does this operator implement :meth:`execute_batch`?  Instances may
+    #: override (e.g. a TableScan over a virtual table cannot batch)
+    batch_capable: bool = False
     #: cardinality / cost estimates filled in by the cost model; None
     #: until the planner annotates the tree
     est_rows = None
@@ -53,6 +58,11 @@ class PhysicalOperator:
         #: inclusive wall-clock seconds (self + children), all loops
         self.elapsed = 0.0
         self._timing = False
+        #: "row" or "batch"; the planner flips batch-capable operators
+        #: to "batch" per pipeline after physical lowering
+        self.execution_mode = "row"
+        #: batches emitted (batch mode only)
+        self.batches_out = 0
 
     def enable_timing(self) -> None:
         """Arm per-operator wall-clock timing on this subtree.
@@ -64,6 +74,11 @@ class PhysicalOperator:
             child.enable_timing()
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        if self.execution_mode == "batch":
+            # batch mode owns the accounting in iter_batches(); flatten
+            for batch in self.iter_batches():
+                yield from batch
+            return
         loop_index = self.loops
         self.loops += 1
         self.loop_rows.append(0)
@@ -94,6 +109,58 @@ class PhysicalOperator:
     def execute(self) -> Iterator[Tuple[Any, ...]]:
         raise NotImplementedError
 
+    # -- batch mode ---------------------------------------------------------------
+
+    def execute_batch(self) -> Iterator[RowBatch]:
+        """Yield :class:`RowBatch` objects (batch-capable operators only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batch-mode implementation"
+        )
+
+    def iter_batches(self, batch_size: int = None) -> Iterator[RowBatch]:
+        """Iterate this operator batch-at-a-time.
+
+        In batch mode this is the accounted execution entry point
+        (mirroring ``__iter__`` for row mode): loop/row bookkeeping is
+        flushed even when the consumer stops mid-stream, and — when
+        EXPLAIN ANALYZE arms timing — the wall clock is read once per
+        batch rather than once per row, so the observer overhead is
+        divided by the batch size.  A row-mode operator is bridged by
+        chunking its ordinary row iterator, which keeps mixed-mode
+        pipelines composable in both directions."""
+        if self.execution_mode != "batch":
+            yield from batches_from_rows(iter(self), batch_size)
+            return
+        loop_index = self.loops
+        self.loops += 1
+        self.loop_rows.append(0)
+        emitted = 0
+        batches = 0
+        iterator = self.execute_batch()
+        try:
+            if not self._timing:
+                for batch in iterator:
+                    emitted += len(batch)
+                    batches += 1
+                    yield batch
+            else:
+                clock = time.perf_counter
+                while True:
+                    t0 = clock()
+                    try:
+                        batch = next(iterator)
+                    except StopIteration:
+                        self.elapsed += clock() - t0
+                        break
+                    self.elapsed += clock() - t0
+                    emitted += len(batch)
+                    batches += 1
+                    yield batch
+        finally:
+            self.rows_out += emitted
+            self.loop_rows[loop_index] = emitted
+            self.batches_out += batches
+
     # -- explain -----------------------------------------------------------------
 
     def explain_node(self) -> Tuple[str, Sequence["PhysicalOperator"]]:
@@ -123,8 +190,11 @@ class PhysicalOperator:
         details: List[str] = []
         if self.est_rows is not None:
             details.append(f"est. rows={self.est_rows}")
+        details.append(f"{self.execution_mode} mode")
         if analyze:
             details.append(f"actual rows={self.rows_out}")
+            if self.execution_mode == "batch":
+                details.append(f"batches={self.batches_out}")
             if self._timing:
                 details.append(f"time={self.elapsed * 1000.0:.3f}ms")
             details.append(f"loops={self.loops}")

@@ -8,12 +8,26 @@ phase. The hash join is the fallback when order is unavailable.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
 from .base import PhysicalOperator
+from .vector import RowBatch
 
 RowFn = Callable[[Sequence[Any]], Any]
+
+
+def _tuple_key_getter(
+    indexes: Optional[Sequence[int]], fns: Sequence[RowFn]
+) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
+    """row -> join-key tuple, by position when the keys are plain columns."""
+    if indexes is not None:
+        if len(indexes) == 1:
+            index = indexes[0]
+            return lambda row: (row[index],)
+        return itemgetter(*indexes)
+    return lambda row: tuple(fn(row) for fn in fns)
 
 
 class NestedLoopJoin(PhysicalOperator):
@@ -59,6 +73,8 @@ class HashJoin(PhysicalOperator):
     match (SQL equality semantics).
     """
 
+    batch_capable = True
+
     def __init__(
         self,
         left: PhysicalOperator,
@@ -66,6 +82,8 @@ class HashJoin(PhysicalOperator):
         left_key_fns: Sequence[RowFn],
         right_key_fns: Sequence[RowFn],
         residual: Optional[RowFn] = None,
+        left_key_indexes: Optional[Sequence[int]] = None,
+        right_key_indexes: Optional[Sequence[int]] = None,
     ):
         super().__init__()
         if len(left_key_fns) != len(right_key_fns):
@@ -74,6 +92,14 @@ class HashJoin(PhysicalOperator):
         self.right = right
         self.left_key_fns = list(left_key_fns)
         self.right_key_fns = list(right_key_fns)
+        #: row positions of the keys when they are plain columns; batch
+        #: mode then extracts keys positionally instead of per-closure
+        self.left_key_indexes = (
+            tuple(left_key_indexes) if left_key_indexes is not None else None
+        )
+        self.right_key_indexes = (
+            tuple(right_key_indexes) if right_key_indexes is not None else None
+        )
         self.residual = residual
         self.columns = list(left.columns) + list(right.columns)
         # probing streams the left input in order; matches are emitted
@@ -101,6 +127,37 @@ class HashJoin(PhysicalOperator):
                 combined = left_row + right_row
                 if residual is None or residual(combined) is True:
                     yield combined
+
+    def execute_batch(self):
+        # build batch-at-a-time from the right input
+        right_key_of = _tuple_key_getter(
+            self.right_key_indexes, self.right_key_fns
+        )
+        build: dict = {}
+        for batch in self.right.iter_batches():
+            for row in batch:
+                key = right_key_of(row)
+                if any(v is None for v in key):
+                    continue
+                build.setdefault(key, []).append(row)
+        # probe: one output batch per left batch, left order preserved
+        left_key_of = _tuple_key_getter(self.left_key_indexes, self.left_key_fns)
+        residual = self.residual
+        get_matches = build.get
+        for batch in self.left.iter_batches():
+            out = RowBatch()
+            append = out.append
+            for left_row in batch:
+                key = left_key_of(left_row)
+                matches = get_matches(key)
+                if not matches:
+                    continue
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if residual is None or residual(combined) is True:
+                        append(combined)
+            if out:
+                yield out
 
     def children(self):
         return (self.left, self.right)

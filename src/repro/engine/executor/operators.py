@@ -8,14 +8,24 @@ Match Aggregate, Sort, Top, Segment/Sequence Project for ROW_NUMBER).
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
 from ..table import Table
-from .aggregates import AggregateSpec
+from .aggregates import AggregateSpec, make_batch_accumulator
 from .base import PhysicalOperator
+from . import vector
+from .vector import (
+    RowBatch,
+    batches_from_rows,
+    make_batch_projector,
+    make_row_projector,
+)
 
 RowFn = Callable[[Sequence[Any]], Any]
+#: a batch-compiled expression: batch -> list of per-row values
+BatchFn = Callable[[Sequence[Sequence[Any]]], List[Any]]
 
 
 def _qualify(alias: Optional[str], names: Sequence[str]) -> List[str]:
@@ -50,14 +60,37 @@ class TableScan(PhysicalOperator):
         else:
             self.projection = None
         self.columns = _qualify(self.alias, names)
+        # virtual tables (system views) expose scan() only
+        self.batch_capable = hasattr(table, "scan_batches")
 
     def execute(self):
         if self.projection is None:
             return self.table.scan()
-        positions = self.projection
-        return (
-            tuple(row[i] for i in positions) for row in self.table.scan()
+        project = make_row_projector(self.projection)
+        return map(project, self.table.scan())
+
+    def execute_batch(self):
+        # page-aligned batches straight from the per-page row cache;
+        # under-filled pages (row-at-a-time loads seal a page per
+        # statement) are coalesced up to the target batch size so batch
+        # mode never degenerates to one-row batches
+        project = (
+            make_batch_projector(self.projection)
+            if self.projection is not None
+            else RowBatch
         )
+        target = vector.DEFAULT_BATCH_SIZE
+        pending: List[Tuple[Any, ...]] = []
+        for batch in self.table.scan_batches():
+            if not pending and len(batch) >= target:
+                yield project(batch)
+                continue
+            pending.extend(batch)
+            if len(pending) >= target:
+                yield project(pending)
+                pending = []
+        if pending:
+            yield project(pending)
 
     def explain_node(self):
         suffix = ""
@@ -105,15 +138,24 @@ class ClusteredIndexScan(PhysicalOperator):
             self.projection = None
             self.ordering = tuple(table.schema.key_indexes)
         self.columns = _qualify(self.alias, names)
+        self.batch_capable = hasattr(table, "ordered_scan")
 
     def execute(self):
         if self.projection is None:
             return self.table.ordered_scan()
-        positions = self.projection
-        return (
-            tuple(row[i] for i in positions)
-            for row in self.table.ordered_scan()
-        )
+        project = make_row_projector(self.projection)
+        return map(project, self.table.ordered_scan())
+
+    def execute_batch(self):
+        # key order comes from the B+tree (one rid fetch per row), so
+        # batches are chunked rather than page-aligned here
+        batches = batches_from_rows(self.table.ordered_scan())
+        if self.projection is None:
+            yield from batches
+        else:
+            project = make_batch_projector(self.projection)
+            for batch in batches:
+                yield project(batch)
 
     def explain_node(self):
         key = ", ".join(self.table.schema.primary_key)
@@ -152,9 +194,13 @@ class ClusteredIndexSeek(PhysicalOperator):
         else:
             self.ordering = key_indexes
             self.bound_columns = frozenset()
+        self.batch_capable = hasattr(table, "seek")
 
     def execute(self):
         return self.table.seek(self.lo, self.hi)
+
+    def execute_batch(self):
+        yield from batches_from_rows(self.table.seek(self.lo, self.hi))
 
     def explain_node(self):
         return (
@@ -202,13 +248,21 @@ class SecondaryIndexSeek(PhysicalOperator):
 class Filter(PhysicalOperator):
     """Row filter; keeps rows whose predicate evaluates to exactly True."""
 
-    def __init__(self, child: PhysicalOperator, predicate: RowFn, label: str = ""):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: RowFn,
+        label: str = "",
+        batch_predicate: Optional[BatchFn] = None,
+    ):
         super().__init__()
         self.child = child
         self.predicate = predicate
+        self.batch_predicate = batch_predicate
         self.label = label
         self.columns = list(child.columns)
         self.ordering = child.ordering
+        self.batch_capable = batch_predicate is not None
 
     def execute(self):
         predicate = self.predicate
@@ -216,12 +270,29 @@ class Filter(PhysicalOperator):
             if predicate(row) is True:
                 yield row
 
+    def execute_batch(self):
+        batch_predicate = self.batch_predicate
+        for batch in self.child.iter_batches():
+            flags = batch_predicate(batch)
+            kept = RowBatch(
+                row for row, flag in zip(batch, flags) if flag is True
+            )
+            if kept:
+                yield kept
+
     def children(self):
         return (self.child,)
 
     def explain_node(self):
         suffix = f" ({self.label})" if self.label else ""
         return f"Filter{suffix}", (self.child,)
+
+
+def _batch_project(batch_fns: Sequence[BatchFn], batch) -> RowBatch:
+    """Evaluate batch-compiled projections column-wise, re-zip into rows."""
+    if len(batch_fns) == 1:
+        return RowBatch((v,) for v in batch_fns[0](batch))
+    return RowBatch(zip(*[fn(batch) for fn in batch_fns]))
 
 
 class Project(PhysicalOperator):
@@ -232,26 +303,95 @@ class Project(PhysicalOperator):
         child: PhysicalOperator,
         fns: Sequence[RowFn],
         names: Sequence[str],
+        batch_fns: Optional[Sequence[BatchFn]] = None,
     ):
         super().__init__()
         if len(fns) != len(names):
             raise ExecutionError("projection arity mismatch")
         self.child = child
         self.fns = list(fns)
+        self.batch_fns = list(batch_fns) if batch_fns is not None else None
         self.columns = list(names)
         # projection generally destroys known ordering (conservative)
         self.ordering = ()
+        self.batch_capable = self.batch_fns is not None
 
     def execute(self):
         fns = self.fns
         for row in self.child:
             yield tuple(fn(row) for fn in fns)
 
+    def execute_batch(self):
+        batch_fns = self.batch_fns
+        for batch in self.child.iter_batches():
+            yield _batch_project(batch_fns, batch)
+
     def children(self):
         return (self.child,)
 
     def explain_node(self):
         return f"Compute Scalar ({', '.join(self.columns)})", (self.child,)
+
+
+class FusedFilterProject(PhysicalOperator):
+    """Filter and projection fused into one batch-mode operator.
+
+    In batch mode the planner collapses a Filter feeding a Compute
+    Scalar into this node: each input batch is filtered and projected in
+    one operator call, eliminating an entire operator boundary (and its
+    per-batch accounting) from the hot pipeline."""
+
+    batch_capable = True
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: RowFn,
+        batch_predicate: BatchFn,
+        fns: Sequence[RowFn],
+        batch_fns: Sequence[BatchFn],
+        names: Sequence[str],
+        label: str = "",
+    ):
+        super().__init__()
+        if len(fns) != len(names):
+            raise ExecutionError("projection arity mismatch")
+        self.child = child
+        self.predicate = predicate
+        self.batch_predicate = batch_predicate
+        self.fns = list(fns)
+        self.batch_fns = list(batch_fns)
+        self.columns = list(names)
+        self.label = label
+        self.ordering = ()
+
+    def execute(self):
+        predicate = self.predicate
+        fns = self.fns
+        for row in self.child:
+            if predicate(row) is True:
+                yield tuple(fn(row) for fn in fns)
+
+    def execute_batch(self):
+        batch_predicate = self.batch_predicate
+        batch_fns = self.batch_fns
+        for batch in self.child.iter_batches():
+            flags = batch_predicate(batch)
+            kept = RowBatch(
+                row for row, flag in zip(batch, flags) if flag is True
+            )
+            if kept:
+                yield _batch_project(batch_fns, kept)
+
+    def children(self):
+        return (self.child,)
+
+    def explain_node(self):
+        suffix = f" ({self.label})" if self.label else ""
+        return (
+            f"Filter + Compute Scalar ({', '.join(self.columns)}){suffix}",
+            (self.child,),
+        )
 
 
 class Sort(PhysicalOperator):
@@ -296,6 +436,8 @@ class Sort(PhysicalOperator):
 class Top(PhysicalOperator):
     """TOP n."""
 
+    batch_capable = True
+
     def __init__(self, child: PhysicalOperator, n: int):
         super().__init__()
         self.child = child
@@ -310,6 +452,18 @@ class Top(PhysicalOperator):
                 return
             count += 1
             yield row
+
+    def execute_batch(self):
+        remaining = self.n
+        if remaining <= 0:
+            return
+        for batch in self.child.iter_batches():
+            if len(batch) >= remaining:
+                # stop mid-batch: trim and abandon the child stream
+                yield RowBatch(batch[:remaining])
+                return
+            remaining -= len(batch)
+            yield batch
 
     def children(self):
         return (self.child,)
@@ -406,6 +560,9 @@ class HashAggregate(PhysicalOperator):
         #: when every group expression is a plain column, its row indexes
         #: (enables the batch fast path below)
         self.group_indexes = tuple(group_indexes) if group_indexes else None
+        self.batch_capable = self.group_indexes is not None and all(
+            spec.batch_capable for spec in self.aggregates
+        )
 
     def _count_star_fast_path(self):
         """Batch-at-a-time COUNT(*) grouping: a single-column group key
@@ -454,6 +611,35 @@ class HashAggregate(PhysicalOperator):
         for key, states in groups.items():
             group_values = (key,) if single else key
             yield group_values + tuple(state.result() for state in states)
+
+    def execute_batch(self):
+        group_indexes = self.group_indexes
+        single = len(group_indexes) == 1
+        if single:
+            index = group_indexes[0]
+        else:
+            key_getter = itemgetter(*group_indexes)
+        accumulators = [
+            make_batch_accumulator(spec) for spec in self.aggregates
+        ]
+        # insertion order of first occurrence — identical to the
+        # row-mode groups dict, so both modes emit groups in the same
+        # order (dict.update appends new keys, never reorders old ones)
+        seen: dict = {}
+        for batch in self.child.iter_batches():
+            if single:
+                keys = [row[index] for row in batch]
+            else:
+                keys = [key_getter(row) for row in batch]
+            seen.update(dict.fromkeys(keys))
+            for accumulator in accumulators:
+                accumulator.add_batch(keys, batch)
+        out = [
+            ((key,) if single else key)
+            + tuple(acc.result(key) for acc in accumulators)
+            for key in seen
+        ]
+        yield from batches_from_rows(out)
 
     def children(self):
         return (self.child,)

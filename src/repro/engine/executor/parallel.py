@@ -33,8 +33,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..errors import ExecutionError
-from .aggregates import AggregateSpec
+from .aggregates import AggregateSpec, make_batch_accumulator
 from .base import PhysicalOperator
+from .vector import batches_from_rows
 
 RowFn = Callable[[Sequence[Any]], Any]
 
@@ -60,6 +61,8 @@ class ParallelStats:
     gather_time: float = 0.0
     rows_in: int = 0
     rows_out: int = 0
+    #: batches consumed from the child (repartitioning is batch-granular)
+    batches_in: int = 0
 
     @property
     def measured_wall(self) -> float:
@@ -93,6 +96,7 @@ class ParallelHashAggregate(PhysicalOperator):
     """
 
     blocking = True
+    batch_capable = True
 
     def __init__(
         self,
@@ -128,6 +132,12 @@ class ParallelHashAggregate(PhysicalOperator):
         )
 
     def execute(self):
+        return iter(self._compute())
+
+    def execute_batch(self):
+        yield from batches_from_rows(self._compute())
+
+    def _compute(self) -> List:
         stats = self.stats = ParallelStats(dop=self.dop)
         group_fns = self.group_fns
         single = len(group_fns) == 1
@@ -138,33 +148,47 @@ class ParallelHashAggregate(PhysicalOperator):
         )
         key_fn = group_fns[0] if single else None
 
-        # Phase 1: scan the child (parallelisable in the simulation).
+        # Phase 1: scan the child batch-at-a-time (parallelisable in the
+        # simulation; a row-mode child is bridged into chunks).
         start = time.perf_counter()
-        rows = list(self.child)
+        batches = list(self.child.iter_batches())
         stats.scan_time = time.perf_counter() - start
-        stats.rows_in = len(rows)
+        stats.rows_in = sum(len(batch) for batch in batches)
+        stats.batches_in = len(batches)
 
-        # Phase 2: hash-partition on the group key (Repartition Streams).
+        # Phase 2: hash-partition on the group key (Repartition Streams),
+        # one batch at a time so the exchange hands workers whole batches.
         start = time.perf_counter()
         partitions: List[List] = [[] for _ in range(self.dop)]
         dop = self.dop
         if simple_index is not None:
-            for row in rows:
-                partitions[hash(row[simple_index]) % dop].append(row)
+            for batch in batches:
+                for row in batch:
+                    partitions[hash(row[simple_index]) % dop].append(row)
         elif single:
-            for row in rows:
-                partitions[hash(key_fn(row)) % dop].append(row)
+            for batch in batches:
+                for row in batch:
+                    partitions[hash(key_fn(row)) % dop].append(row)
         else:
-            for row in rows:
-                key = tuple(fn(row) for fn in group_fns)
-                partitions[hash(key) % dop].append(row)
+            for batch in batches:
+                for row in batch:
+                    key = tuple(fn(row) for fn in group_fns)
+                    partitions[hash(key) % dop].append(row)
         stats.partition_time = time.perf_counter() - start
-        del rows
+        del batches
 
         # Phase 3: per-worker partial aggregation, individually timed.
         # Single-column COUNT(*) uses the batch Counter fast path, as the
-        # serial HashAggregate does.
+        # serial HashAggregate does. In batch mode each partition is
+        # aggregated column-wise through the batch accumulators; group
+        # output order (first occurrence within each partition) matches
+        # the row-mode dict exactly.
         use_counter = simple_index is not None and self._counts_only
+        use_batch = (
+            not use_counter
+            and self.execution_mode == "batch"
+            and all(spec.batch_capable for spec in self.aggregates)
+        )
         partial_results: List = []
         for partition in partitions:
             start = time.perf_counter()
@@ -174,6 +198,22 @@ class ParallelHashAggregate(PhysicalOperator):
                 groups: Any = Counter(
                     row[simple_index] for row in partition
                 )
+            elif use_batch:
+                if simple_index is not None:
+                    keys = [row[simple_index] for row in partition]
+                elif single:
+                    keys = [key_fn(row) for row in partition]
+                else:
+                    keys = [
+                        tuple(fn(row) for fn in group_fns)
+                        for row in partition
+                    ]
+                accumulators = [
+                    make_batch_accumulator(spec) for spec in self.aggregates
+                ]
+                for accumulator in accumulators:
+                    accumulator.add_batch(keys, partition)
+                groups = (dict.fromkeys(keys), accumulators)
             else:
                 groups = {}
                 specs = self.aggregates
@@ -199,6 +239,14 @@ class ParallelHashAggregate(PhysicalOperator):
             for counts in partial_results:
                 for key, count in counts.items():
                     output.append((key,) + (count,) * width)
+        elif use_batch:
+            for seen, accumulators in partial_results:
+                for key in seen:
+                    group_values = (key,) if single else key
+                    output.append(
+                        group_values
+                        + tuple(acc.result(key) for acc in accumulators)
+                    )
         else:
             for groups in partial_results:
                 for key, states in groups.items():
@@ -209,7 +257,7 @@ class ParallelHashAggregate(PhysicalOperator):
                     )
         stats.gather_time = time.perf_counter() - start
         stats.rows_out = len(output)
-        return iter(output)
+        return output
 
     def children(self):
         return (self.child,)

@@ -638,6 +638,147 @@ class ExpressionCompiler:
 
         return case_eval
 
+    # -- batch compilation -------------------------------------------------------
+
+    def compile_batch(self, expr: Expr) -> Callable[[Sequence[Sequence[Any]]], List[Any]]:
+        """Compile an expression into a ``batch -> list of values`` closure.
+
+        Subtrees proved safe by :func:`batch_safe` are vectorised into
+        whole-batch list comprehensions (one closure call per batch
+        instead of per row).  Anything else — division/modulo (may
+        raise where row mode's Kleene short-circuit would have skipped
+        evaluation), function calls, LIKE, CASE — falls back to mapping
+        the row-compiled closure over the batch, which preserves
+        short-circuit semantics and UDF memoisation exactly while still
+        presenting the batch interface."""
+        if batch_safe(expr):
+            method = getattr(self, f"_batch_{type(expr).__name__.lower()}")
+            return method(expr)
+        row_fn = self.compile(expr)
+        return lambda batch: [row_fn(row) for row in batch]
+
+    def _batch_literal(self, expr: Literal):
+        value = expr.value
+        return lambda batch: [value] * len(batch)
+
+    def _batch_columnref(self, expr: ColumnRef):
+        index = self._binder(expr)
+        return lambda batch: [row[index] for row in batch]
+
+    def _batch_boundref(self, expr: BoundRef):
+        index = expr.index
+        return lambda batch: [row[index] for row in batch]
+
+    def _batch_binaryop(self, expr: BinaryOp):
+        op = expr.op.upper()
+        left = self.compile_batch(expr.left)
+        right = self.compile_batch(expr.right)
+        if op == "AND":
+            return lambda batch: [
+                False
+                if l is False or r is False
+                else (None if l is None or r is None else True)
+                for l, r in zip(left(batch), right(batch))
+            ]
+        if op == "OR":
+            return lambda batch: [
+                True
+                if l is True or r is True
+                else (None if l is None or r is None else False)
+                for l, r in zip(left(batch), right(batch))
+            ]
+        fn = _COMPARE.get(op) or _ARITH.get(op)
+        if isinstance(expr.right, Literal) and expr.right.value is not None:
+            constant = expr.right.value
+            return lambda batch: [
+                None if l is None else fn(l, constant) for l in left(batch)
+            ]
+        return lambda batch: [
+            None if l is None or r is None else fn(l, r)
+            for l, r in zip(left(batch), right(batch))
+        ]
+
+    def _batch_unaryop(self, expr: UnaryOp):
+        inner = self.compile_batch(expr.operand)
+        op = expr.op.upper()
+        if op == "NOT":
+            return lambda batch: [
+                None if v is None else not v for v in inner(batch)
+            ]
+        if op == "-":
+            return lambda batch: [
+                None if v is None else -v for v in inner(batch)
+            ]
+        return inner  # unary '+'
+
+    def _batch_isnull(self, expr: IsNull):
+        inner = self.compile_batch(expr.operand)
+        if expr.negated:
+            return lambda batch: [v is not None for v in inner(batch)]
+        return lambda batch: [v is None for v in inner(batch)]
+
+    def _batch_between(self, expr: Between):
+        value = self.compile_batch(expr.operand)
+        low = self.compile_batch(expr.low)
+        high = self.compile_batch(expr.high)
+        return lambda batch: [
+            None if v is None or lo is None or hi is None else lo <= v <= hi
+            for v, lo, hi in zip(value(batch), low(batch), high(batch))
+        ]
+
+    def _batch_inlist(self, expr: InList):
+        value = self.compile_batch(expr.operand)
+        items = [item.value for item in expr.items]
+        saw_null = any(item is None for item in items)
+        members = frozenset(item for item in items if item is not None)
+        absent = None if saw_null else False
+        return lambda batch: [
+            None if v is None else (True if v in members else absent)
+            for v in value(batch)
+        ]
+
+
+#: binary operators safe to evaluate eagerly over a whole batch: the
+#: Kleene connectives, comparisons, and raise-free arithmetic ('/' and
+#: '%' stay row-at-a-time — eager evaluation could divide by zero on a
+#: row whose result short-circuiting would have discarded)
+_BATCH_SAFE_BINOPS = {"AND", "OR", "+", "-", "*"} | set(_COMPARE)
+
+
+def batch_safe(expr: Expr) -> bool:
+    """Can ``expr`` be vectorised without changing semantics?
+
+    A subtree qualifies only when evaluating it on *every* row of a
+    batch is indistinguishable from row mode, where AND/OR/comparison
+    short-circuiting may skip operand evaluation entirely.  That rules
+    out anything that can raise or carry side effects: division and
+    modulo, function calls (UDFs may be non-deterministic or
+    data-accessing), LIKE (regex compilation per row), and CASE (lazy
+    branch evaluation is observable)."""
+    if isinstance(expr, (Literal, ColumnRef, BoundRef)):
+        return True
+    if isinstance(expr, IsNull):
+        return batch_safe(expr.operand)
+    if isinstance(expr, Between):
+        return (
+            batch_safe(expr.operand)
+            and batch_safe(expr.low)
+            and batch_safe(expr.high)
+        )
+    if isinstance(expr, InList):
+        return batch_safe(expr.operand) and all(
+            isinstance(item, Literal) for item in expr.items
+        )
+    if isinstance(expr, UnaryOp):
+        return expr.op.upper() in {"NOT", "-", "+"} and batch_safe(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return (
+            expr.op.upper() in _BATCH_SAFE_BINOPS
+            and batch_safe(expr.left)
+            and batch_safe(expr.right)
+        )
+    return False
+
 
 def expression_to_sql(expr: Expr) -> str:
     """Render an expression back to SQL-ish text (for EXPLAIN output)."""

@@ -138,6 +138,7 @@ class QueryStats:
     total_rows: int = 0
     total_logical_reads: int = 0
     total_pages_written: int = 0
+    total_batch_reads: int = 0
 
     def record(self, elapsed: float, rows: int, io: Dict[str, int]) -> None:
         self.execution_count += 1
@@ -148,6 +149,7 @@ class QueryStats:
             "index_node_visits", 0
         )
         self.total_pages_written += io.get("pages_written", 0)
+        self.total_batch_reads += io.get("batch_reads", 0)
 
 
 def normalize_query_text(sql: str) -> str:
@@ -209,6 +211,7 @@ class MetricsRegistry:
                     q.total_rows,
                     q.total_logical_reads,
                     q.total_pages_written,
+                    q.total_batch_reads,
                 )
             )
         return rows
@@ -306,6 +309,7 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
                 ("total_rows", int_type()),
                 ("total_logical_reads", int_type()),
                 ("total_pages_written", int_type()),
+                ("total_batch_reads", int_type()),
             ],
         ),
         lambda: db.metrics.query_stats_rows(),

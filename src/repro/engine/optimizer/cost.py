@@ -112,6 +112,9 @@ class CostModel:
     tvf_row_cost = 1.0
     default_tvf_rows = 1000
     apply_fanout = 8
+    # batch (vectorized) execution: per-row cost multiplier for operators
+    # running batch-at-a-time — the amortised interpreter dispatch
+    batch_cost_factor = 0.4
 
     def __init__(self, **overrides: float):
         for name, value in overrides.items():
@@ -324,6 +327,7 @@ class CostModel:
             CrossApply,
             Distinct,
             Filter,
+            FusedFilterProject,
             HashAggregate,
             HashJoin,
             MaterializedResult,
@@ -352,7 +356,7 @@ class CostModel:
                 rows = op.table.row_count
             elif isinstance(op, (ClusteredIndexSeek, SecondaryIndexSeek)):
                 rows = max(op.table.row_count // 10, 1)
-            elif isinstance(op, Filter):
+            elif isinstance(op, (Filter, FusedFilterProject)):
                 rows = max(first // 2, 1)
             elif isinstance(op, (HashJoin, MergeJoin, NestedLoopJoin)):
                 rows = max(child_rows[0], child_rows[1])
@@ -382,6 +386,8 @@ class CostModel:
             self_cost = self.seek_cost(rows)
         elif isinstance(op, SecondaryIndexSeek):
             self_cost = self.seek_cost(rows, secondary=True)
+        elif isinstance(op, FusedFilterProject):
+            self_cost = first * (self.filter_row_cost + self.project_row_cost)
         elif isinstance(op, Filter):
             self_cost = first * self.filter_row_cost
         elif isinstance(op, HashJoin):
@@ -426,6 +432,12 @@ class CostModel:
             self_cost = first * self.project_row_cost
         else:
             self_cost = 0.0
+        # batch-mode operators amortise the per-row interpreter dispatch
+        # over whole batches; modes are selected after all access-path /
+        # join / parallelism decisions, so the discount shows in EXPLAIN
+        # without steering those choices
+        if getattr(op, "execution_mode", "row") == "batch":
+            self_cost *= self.batch_cost_factor
         op.est_cost = self_cost + sum(
             kid.est_cost or 0.0 for kid in kids
         )

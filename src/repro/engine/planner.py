@@ -43,6 +43,7 @@ from .executor import (
     CrossApply,
     Distinct,
     Filter,
+    FusedFilterProject,
     HashAggregate,
     HashJoin,
     MaterializedResult,
@@ -133,6 +134,8 @@ def _binds(op: PhysicalOperator, expr: Expr) -> bool:
 class _Relabel(PhysicalOperator):
     """Expose a child operator under new column names (derived tables)."""
 
+    batch_capable = True
+
     def __init__(self, child: PhysicalOperator, columns: Sequence[str]):
         super().__init__()
         self.child = child
@@ -141,6 +144,9 @@ class _Relabel(PhysicalOperator):
 
     def execute(self):
         return iter(self.child)
+
+    def execute_batch(self):
+        return self.child.iter_batches()
 
     def children(self):
         return (self.child,)
@@ -182,9 +188,27 @@ class Planner:
         )
         self._lint(logical)
         op = self._lower_plan(logical)
+        self._select_execution_modes(op)
         self.cost.annotate(op)
         op.plan_notes = list(self._notes)
         return op
+
+    def _select_execution_modes(self, op: PhysicalOperator) -> None:
+        """Flip every batch-capable operator to batch mode.
+
+        Runs after physical lowering and *before* the final cost
+        annotation, so the batch discount is visible in EXPLAIN but all
+        access-path / join / parallelism decisions (which price
+        alternatives mid-lowering) were taken mode-agnostically.
+        Row-only operators simply stay in row mode — the batch iterator
+        protocol bridges both directions, so a pipeline may change mode
+        at any operator boundary."""
+        if getattr(self.database, "execution_mode", "auto") == "row":
+            return
+        for child in op.children():
+            self._select_execution_modes(child)
+        if op.batch_capable:
+            op.execution_mode = "batch"
 
     def _lint(self, logical: LogicalPlan) -> None:
         from .verify.sql_lint import lint_plan
@@ -370,7 +394,16 @@ class Planner:
                 ExpressionCompiler(right_binder, library).compile(r)
                 for r in right_refs
             ]
-            joined = HashJoin(left, right, left_fns, right_fns)
+            # equi keys are plain columns, so batch mode can build/probe
+            # with positional getters
+            joined = HashJoin(
+                left,
+                right,
+                left_fns,
+                right_fns,
+                left_key_indexes=[left_binder(r) for r in left_refs],
+                right_key_indexes=[right_binder(r) for r in right_refs],
+            )
         key_ndvs = []
         for left_ref, right_ref in equi:
             sides = [
@@ -386,9 +419,14 @@ class Planner:
             compiler = ExpressionCompiler(
                 make_binder(joined), self.database.catalog.functions
             )
-            predicate = compiler.compile(_conjoin(residual))
+            residual_expr = _conjoin(residual)
             join_rows = joined.est_rows
-            joined = Filter(joined, predicate, label="join residual")
+            joined = Filter(
+                joined,
+                compiler.compile(residual_expr),
+                label="join residual",
+                batch_predicate=compiler.compile_batch(residual_expr),
+            )
             joined.est_rows = self.cost.filter_output(join_rows, residual)
         return joined
 
@@ -496,7 +534,12 @@ class Planner:
             if upgraded is op.child:
                 return op
             if upgraded is not None:
-                replaced = Filter(upgraded, op.predicate, label=op.label)
+                replaced = Filter(
+                    upgraded,
+                    op.predicate,
+                    label=op.label,
+                    batch_predicate=op.batch_predicate,
+                )
                 replaced.est_rows = op.est_rows
                 return replaced
         return None
@@ -539,11 +582,17 @@ class Planner:
         if not conjuncts:
             return op
         compiler = ExpressionCompiler(make_binder(op), library)
-        predicate = compiler.compile(_conjoin(conjuncts))
-        label = expression_to_sql(_conjoin(conjuncts))
+        residual_expr = _conjoin(conjuncts)
+        predicate = compiler.compile(residual_expr)
+        label = expression_to_sql(residual_expr)
         if len(label) > 60:
             label = label[:57] + "..."
-        filtered = Filter(op, predicate, label=label)
+        filtered = Filter(
+            op,
+            predicate,
+            label=label,
+            batch_predicate=compiler.compile_batch(residual_expr),
+        )
         table = getattr(op, "table", None)
         if table is not None:
             if isinstance(op, (TableScan, ClusteredIndexScan)):
@@ -709,6 +758,18 @@ class Planner:
         for i, agg in enumerate(node.aggregates.values()):
             uda_class = library.uda(agg.name)
             arg_fns = [compiler.compile(a) for a in agg.args]
+            # plain-column argument position, so batch mode can extract
+            # the argument column without a per-row closure call
+            arg_index = None
+            if not agg.star and len(agg.args) == 1:
+                arg = agg.args[0]
+                if isinstance(arg, BoundRef):
+                    arg_index = arg.index
+                elif isinstance(arg, ColumnRef):
+                    try:
+                        arg_index = binder(arg)
+                    except BindError:
+                        arg_index = None
             specs.append(
                 AggregateSpec(
                     agg.name,
@@ -716,6 +777,7 @@ class Planner:
                     star=agg.star,
                     distinct=agg.distinct,
                     uda_class=uda_class,
+                    arg_index=arg_index,
                 )
             )
             agg_names.append(f"$agg{i}")
@@ -870,7 +932,12 @@ class Planner:
             bind_udas(_conjoin(node.conjuncts), library), ctx.subst
         )
         compiler = ExpressionCompiler(make_binder(op), library)
-        filtered = Filter(op, compiler.compile(having), label="HAVING")
+        filtered = Filter(
+            op,
+            compiler.compile(having),
+            label="HAVING",
+            batch_predicate=compiler.compile_batch(having),
+        )
         if op.est_rows is not None:
             filtered.est_rows = self.cost.filter_output(
                 op.est_rows, node.conjuncts
@@ -904,6 +971,7 @@ class Planner:
 
         # Resolve select items against the current (pre-projection) op.
         fns: List[Callable] = []
+        batch_fns: List[Callable] = []
         names: List[str] = []
         alias_exprs: Dict[str, Expr] = {}
         for item in stmt.items:
@@ -917,10 +985,14 @@ class Planner:
                         continue
                     index = i
                     fns.append(lambda row, j=index: row[j])
+                    batch_fns.append(
+                        lambda batch, j=index: [row[j] for row in batch]
+                    )
                     names.append(col.rsplit(".", 1)[-1])
                 continue
             expr = self._substitute(bind_udas(item.expr, library), subst)
             fns.append(compiler.compile(expr))
+            batch_fns.append(compiler.compile_batch(expr))
             if item.alias:
                 name = item.alias
                 alias_exprs[item.alias.lower()] = expr
@@ -949,7 +1021,28 @@ class Planner:
                 order_fns.append(compiler.compile(bound))
                 descending.append(desc)
             op = Sort(op, order_fns, descending, label="ORDER BY")
-        op = Project(op, fns, names)
+        if (
+            not stmt.order_by
+            and isinstance(op, Filter)
+            and op.batch_predicate is not None
+            and getattr(self.database, "execution_mode", "auto") != "row"
+        ):
+            # fuse the WHERE filter with the projection so batch mode
+            # runs a single operator over each batch (fns bind against
+            # the filter's child: a Filter never changes columns)
+            fused = FusedFilterProject(
+                op.child,
+                op.predicate,
+                op.batch_predicate,
+                fns,
+                batch_fns,
+                names,
+                label=op.label,
+            )
+            fused.est_rows = op.est_rows
+            op = fused
+        else:
+            op = Project(op, fns, names, batch_fns=batch_fns)
         if stmt.distinct:
             op = Distinct(op)
         if stmt.top is not None:

@@ -148,6 +148,28 @@ class HeapFile:
                 if row is not None:
                     yield (page_id, slot), row
 
+    def scan_batches(self) -> Iterator[list]:
+        """Yield one list of live rows per page, in physical order.
+
+        The batch-mode table scan: each page's row cache is filtered for
+        tombstones in a single comprehension and handed to the executor
+        as a page-aligned batch, so the per-row iterator handshake of
+        :meth:`scan` disappears.  IO accounting matches ``scan`` exactly
+        (one ``pages_read`` per page, cold pages count a cache miss) plus
+        a ``batch_reads`` counter per emitted batch."""
+        serializer = self.serializer
+        io = self.io
+        io.incr("scans")
+        for page in self.pages:
+            io.incr("pages_read")
+            if page.decoded is None:
+                io.incr("page_cache_misses")
+            cache = page.row_cache(serializer)
+            batch = [row for row in cache if row is not None]
+            if batch:
+                io.incr("batch_reads")
+                yield batch
+
     # -- accounting -----------------------------------------------------------------
 
     @property

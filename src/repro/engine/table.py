@@ -207,6 +207,14 @@ class Table:
             for _rid, row in self.heap.scan():
                 yield row
 
+    def scan_batches(self) -> Iterator[List[Tuple[Any, ...]]]:
+        """All rows in physical order, one page-aligned batch per page."""
+        if self._fs_columns:
+            for batch in self.heap.scan_batches():
+                yield [self._surface(row) for row in batch]
+        else:
+            yield from self.heap.scan_batches()
+
     def ordered_scan(self) -> Iterator[Tuple[Any, ...]]:
         """All rows in primary-key order (clustered-index scan)."""
         if self._pk_index is None:
