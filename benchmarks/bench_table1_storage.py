@@ -17,7 +17,12 @@ referenced by foreign key instead of repeated.
 import pytest
 
 from bench_common import save_bench_json, save_report
-from repro.core.storage_report import ScenarioData, format_table, measure_storage
+from repro.core.storage_report import (
+    ScenarioData,
+    format_engine_report,
+    format_table,
+    measure_storage,
+)
 
 
 @pytest.fixture(scope="module")
@@ -42,10 +47,14 @@ def scenario(dge_reads, ranked_tags, dge_alignments, genes):
 
 
 def test_table1_report(benchmark, scenario, tmp_path_factory):
+    engine_detail = []
     storage_table = benchmark.pedantic(
         measure_storage,
         args=(scenario,),
-        kwargs={"workdir": tmp_path_factory.mktemp("table1")},
+        kwargs={
+            "workdir": tmp_path_factory.mktemp("table1"),
+            "engine_detail": engine_detail,
+        },
         rounds=1,
         iterations=1,
     )
@@ -54,6 +63,7 @@ def test_table1_report(benchmark, scenario, tmp_path_factory):
         "Table 1 (reproduced, simulator scale): Storage Efficiency "
         "- Digital Gene Expression",
     )
+    text += "\n" + format_engine_report(engine_detail)
     save_report("table1_storage.txt", text)
     save_bench_json(
         "table1_storage",
@@ -71,6 +81,9 @@ def test_table1_report(benchmark, scenario, tmp_path_factory):
     assert reads["norm_page"] < reads["norm_row"]
     alignments = storage_table["alignments"]
     assert alignments["normalized"] < alignments["one_to_one"]
+    # columnstore ablation: the all-integer Alignment table encodes
+    # (bit-pack / RLE) well below the uncompressed heap
+    assert alignments["norm_column"] < alignments["normalized"]
 
 
 def test_bench_normalized_import(benchmark, dge_reads, tmp_path_factory):

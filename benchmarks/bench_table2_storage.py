@@ -18,7 +18,12 @@ recovers the sequence-payload savings the paper projects.
 import pytest
 
 from bench_common import save_bench_json, save_report
-from repro.core.storage_report import ScenarioData, format_table, measure_storage
+from repro.core.storage_report import (
+    ScenarioData,
+    format_engine_report,
+    format_table,
+    measure_storage,
+)
 
 
 @pytest.fixture(scope="module")
@@ -31,10 +36,14 @@ def scenario(reseq_reads, reseq_alignments):
 
 
 def test_table2_report(benchmark, scenario, tmp_path_factory):
+    engine_detail = []
     storage_table = benchmark.pedantic(
         measure_storage,
         args=(scenario,),
-        kwargs={"workdir": tmp_path_factory.mktemp("table2")},
+        kwargs={
+            "workdir": tmp_path_factory.mktemp("table2"),
+            "engine_detail": engine_detail,
+        },
         rounds=1,
         iterations=1,
     )
@@ -43,6 +52,7 @@ def test_table2_report(benchmark, scenario, tmp_path_factory):
         "Table 2 (reproduced, simulator scale): Storage Efficiency "
         "- 1000 Genomes Re-sequencing",
     )
+    text += "\n" + format_engine_report(engine_detail)
     save_report("table2_storage.txt", text)
     save_bench_json(
         "table2_storage",

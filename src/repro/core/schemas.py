@@ -109,6 +109,7 @@ def create_normalized_schema(
     compression: str = "NONE",
     alignment_clustering: AlignmentClustering = "position",
     sequence_type: str = "VARCHAR(500)",
+    storage: str = "HEAP",
 ) -> None:
     """The paper's normalized schema for level-1..3 data.
 
@@ -124,12 +125,16 @@ def create_normalized_schema(
     sequence_type:
         The column type for sequence payloads — swap in the ``DnaSequence``
         UDT to measure the bit-packed ablation.
+    storage:
+        ``HEAP`` (default) or ``COLUMN`` — the access method for the
+        bulk tables, for the columnstore storage ablation.
     """
-    with_clause = (
-        f" WITH (DATA_COMPRESSION = {compression})"
-        if compression != "NONE"
-        else ""
-    )
+    options = []
+    if compression != "NONE":
+        options.append(f"DATA_COMPRESSION = {compression}")
+    if storage.upper() != "HEAP":
+        options.append(f"STORAGE = '{storage.upper()}'")
+    with_clause = f" WITH ({', '.join(options)})" if options else ""
     db.execute(
         f"""
         CREATE TABLE [Read] (

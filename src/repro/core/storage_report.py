@@ -43,6 +43,7 @@ DESIGNS = (
     "normalized",
     "norm_row",
     "norm_page",
+    "norm_column",
     "norm_udt",
 )
 
@@ -53,6 +54,7 @@ DESIGN_LABELS = {
     "normalized": "Normalized",
     "norm_row": "Norm + ROW",
     "norm_page": "Norm + PAGE",
+    "norm_column": "Norm + COLUMN",
     "norm_udt": "Norm + DNA UDT",
 }
 
@@ -82,6 +84,56 @@ class ScenarioData:
 
 
 StorageTable = Dict[str, Dict[str, int]]  # artifact -> design -> bytes
+
+
+def engine_report(db: Database, design: str) -> List[dict]:
+    """Per-table storage-engine rows for one measured design: which
+    access method backs each table, its stored vs raw bytes (the
+    compression ratio), and the dominant encoding per column (column
+    store only; heaps report no encodings)."""
+    rows: List[dict] = []
+    for table in db.catalog.tables():
+        store = getattr(table, "store", None)
+        if store is None or table.row_count == 0:
+            continue
+        stored = table.stored_bytes()
+        raw = table.uncompressed_bytes()
+        rows.append(
+            {
+                "design": design,
+                "table_name": table.schema.name,
+                "engine": store.engine_name,
+                "rows": table.row_count,
+                "stored_bytes": stored,
+                "uncompressed_bytes": raw,
+                "ratio": round(stored / raw, 3) if raw else None,
+                "encodings": store.encoding_summary(),
+            }
+        )
+    return rows
+
+
+def format_engine_report(rows: List[dict]) -> str:
+    """Render :func:`engine_report` rows as an appendix section."""
+    lines = [
+        "",
+        "Storage engines (per table):",
+        f"{'Design':<14}{'Table':<20}{'Engine':<8}{'Rows':>8}"
+        f"{'Stored':>12}{'Raw':>12}{'Ratio':>7}  Encodings",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        encodings = ", ".join(
+            f"{name}={enc}" for name, enc in sorted(row["encodings"].items())
+        )
+        ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "-"
+        lines.append(
+            f"{row['design']:<14}{row['table_name']:<20}"
+            f"{row['engine']:<8}{row['rows']:>8}"
+            f"{row['stored_bytes']:>12,}{row['uncompressed_bytes']:>12,}"
+            f"{ratio:>7}  {encodings}"
+        )
+    return "\n".join(lines)
 
 
 def _measure_files(scenario: ScenarioData, root: Path) -> Dict[str, int]:
@@ -179,11 +231,17 @@ def _measure_normalized(
     data_dir: Path,
     compression: str = "NONE",
     sequence_type: str = "VARCHAR(500)",
+    storage: str = "HEAP",
+    engine_detail: Optional[List[dict]] = None,
+    design: str = "",
 ) -> Dict[str, int]:
     db = Database(data_dir=data_dir)
     register_extensions(db)
     create_normalized_schema(
-        db, compression=compression, sequence_type=sequence_type
+        db,
+        compression=compression,
+        sequence_type=sequence_type,
+        storage=storage,
     )
     read_table = db.table("Read")
     name_to_rid: Dict[str, int] = {}
@@ -240,6 +298,8 @@ def _measure_normalized(
             expr_table.insert((g_id, 1, 1, 1, total, count))
         expr_table.finish_bulk_load()
         sizes["expression"] = expr_table.stored_bytes()
+    if engine_detail is not None:
+        engine_detail.extend(engine_report(db, design))
     db.close()
     return sizes
 
@@ -248,6 +308,7 @@ def measure_storage(
     scenario: ScenarioData,
     workdir: Optional[Path] = None,
     include_udt: bool = True,
+    engine_detail: Optional[List[dict]] = None,
 ) -> StorageTable:
     """Measure every design; returns ``{artifact: {design: bytes}}``."""
     if workdir is None:
@@ -266,13 +327,19 @@ def measure_storage(
             scenario, workdir / "flatdb"
         )
         per_design["normalized"] = _measure_normalized(
-            scenario, workdir / "normdb", compression="NONE"
+            scenario, workdir / "normdb", compression="NONE",
+            engine_detail=engine_detail, design="normalized",
         )
         per_design["norm_row"] = _measure_normalized(
             scenario, workdir / "rowdb", compression="ROW"
         )
         per_design["norm_page"] = _measure_normalized(
-            scenario, workdir / "pagedb", compression="PAGE"
+            scenario, workdir / "pagedb", compression="PAGE",
+            engine_detail=engine_detail, design="norm_page",
+        )
+        per_design["norm_column"] = _measure_normalized(
+            scenario, workdir / "coldb", storage="COLUMN",
+            engine_detail=engine_detail, design="norm_column",
         )
         if include_udt:
             per_design["norm_udt"] = _measure_normalized(

@@ -259,7 +259,7 @@ class Database:
                     logical = delta.get("pages_read", 0) + delta.get(
                         "index_node_visits", 0
                     )
-                    self.messages.append(
+                    message = (
                         f"Table {table.schema.name!r}. "
                         f"Scan count {delta.get('scans', 0)}, "
                         f"logical reads {logical}, "
@@ -267,6 +267,19 @@ class Database:
                         f"{delta.get('page_cache_misses', 0)}, "
                         f"batch reads {delta.get('batch_reads', 0)}."
                     )
+                    # columnstore tables add a segment clause (SQL Server
+                    # prints "segment reads N, segment skipped M"); heap
+                    # tables keep the exact historical line
+                    if delta.get("segments_read", 0) or delta.get(
+                        "segments_skipped", 0
+                    ):
+                        message += (
+                            f" Segment reads "
+                            f"{delta.get('segments_read', 0)}, "
+                            f"segments skipped "
+                            f"{delta.get('segments_skipped', 0)}."
+                        )
+                    self.messages.append(message)
         if self.statistics_time:
             self.messages.append(
                 f"Execution Times: elapsed time = {elapsed * 1000.0:.3f} ms."
@@ -475,6 +488,8 @@ class Database:
             foreign_keys=foreign_keys,
             compression=stmt.compression,
             filestream_group=stmt.filestream_group,
+            storage=stmt.storage,
+            segment_rows=stmt.segment_rows,
         )
         return self.catalog.create_table(schema)
 
@@ -532,7 +547,7 @@ class Database:
             self._check_foreign_keys(table, full)
             table.insert(full)
             count += 1
-        table.finish_bulk_load()
+        table.finish_bulk_load(force=False)
         return count
 
     def insert_row(self, table_name: str, row: Sequence[Any]):
@@ -592,7 +607,7 @@ class Database:
             return updated
 
         count = table.update_where(predicate, updater)
-        table.finish_bulk_load()
+        table.finish_bulk_load(force=False)
         return count
 
     def _execute_delete(self, stmt: ast.DeleteStmt) -> int:

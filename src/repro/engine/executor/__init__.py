@@ -7,7 +7,9 @@ from .joins import HashJoin, MergeJoin, NestedLoopJoin
 from .operators import (
     ClusteredIndexScan,
     ClusteredIndexSeek,
+    ColumnStoreScan,
     Distinct,
+    EncodedAggregate,
     Filter,
     FusedFilterProject,
     HashAggregate,
@@ -37,9 +39,11 @@ __all__ = [
     "AggregateState",
     "ClusteredIndexScan",
     "ClusteredIndexSeek",
+    "ColumnStoreScan",
     "CrossApply",
     "DEFAULT_BATCH_SIZE",
     "Distinct",
+    "EncodedAggregate",
     "Filter",
     "FusedFilterProject",
     "HashAggregate",

@@ -302,9 +302,25 @@ class AggregateSpec:
 
 
 class BatchAccumulator:
-    """Per-aggregate, all-groups batch accumulator."""
+    """Per-aggregate, all-groups batch accumulator.
+
+    ``add_batch`` consumes a row batch (extracting argument values with
+    the compiled getter); ``add_vector`` consumes pre-extracted value
+    vectors, which is how the encoded column-scan path feeds aggregates
+    without ever materialising row tuples.  Accumulators that can
+    exploit a run-length-encoded group key additionally expose
+    ``add_runs`` / ``add_slices``; callers must only use the slice path
+    where slice-at-a-time evaluation is bit-identical to value-at-a-time
+    (counts and min/max always are; SUM only over exact integers).
+    """
+
+    #: does this accumulator implement add_slices()?
+    slice_capable = False
 
     def add_batch(self, keys: Sequence[Any], batch: Sequence[Sequence[Any]]) -> None:
+        raise NotImplementedError
+
+    def add_vector(self, keys: Sequence[Any], values: Sequence[Any]) -> None:
         raise NotImplementedError
 
     def result(self, key: Any) -> Any:
@@ -322,6 +338,16 @@ class _BatchCountStar(BatchAccumulator):
     def add_batch(self, keys, batch):
         self.counts.update(keys)
 
+    def add_vector(self, keys, values=None):
+        self.counts.update(keys)
+
+    def add_runs(self, runs):
+        """Run-length-weighted counting: one dict update per run of the
+        RLE-encoded group key instead of one per row."""
+        counts = self.counts
+        for value, count in runs:
+            counts[value] += count
+
     def result(self, key):
         return self.counts[key]
 
@@ -329,15 +355,30 @@ class _BatchCountStar(BatchAccumulator):
 class _BatchCountValue(BatchAccumulator):
     __slots__ = ("counts", "_getter")
 
+    slice_capable = True
+
     def __init__(self, getter):
         self.counts: dict = {}
         self._getter = getter
 
     def add_batch(self, keys, batch):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
         counts = self.counts
-        for key, value in zip(keys, self._getter(batch)):
+        for key, value in zip(keys, values):
             if value is not None:
                 counts[key] = counts.get(key, 0) + 1
+
+    def add_slices(self, runs, values):
+        counts = self.counts
+        offset = 0
+        for key, count in runs:
+            chunk = values[offset : offset + count]
+            offset += count
+            n = count - chunk.count(None)
+            if n:
+                counts[key] = counts.get(key, 0) + n
 
     def result(self, key):
         return self.counts.get(key, 0)
@@ -351,12 +392,15 @@ class _BatchCountDistinct(BatchAccumulator):
         self._getter = getter
 
     def add_batch(self, keys, batch):
-        values = self.values
-        for key, value in zip(keys, self._getter(batch)):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
+        buckets = self.values
+        for key, value in zip(keys, values):
             if value is not None:
-                bucket = values.get(key)
+                bucket = buckets.get(key)
                 if bucket is None:
-                    values[key] = {value}
+                    buckets[key] = {value}
                 else:
                     bucket.add(value)
 
@@ -367,16 +411,35 @@ class _BatchCountDistinct(BatchAccumulator):
 class _BatchSum(BatchAccumulator):
     __slots__ = ("totals", "_getter")
 
+    # slice summation reassociates floating-point addition, so the
+    # caller gates add_slices to exact (integer) columns
+    slice_capable = True
+
     def __init__(self, getter):
         self.totals: dict = {}
         self._getter = getter
 
     def add_batch(self, keys, batch):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
         totals = self.totals
-        for key, value in zip(keys, self._getter(batch)):
+        for key, value in zip(keys, values):
             if value is not None:
                 # absent key starts from int 0, exactly like _Sum
                 totals[key] = totals.get(key, 0) + value
+
+    def add_slices(self, runs, values):
+        totals = self.totals
+        offset = 0
+        for key, count in runs:
+            chunk = values[offset : offset + count]
+            offset += count
+            if None in chunk:
+                chunk = [v for v in chunk if v is not None]
+                if not chunk:
+                    continue
+            totals[key] = totals.get(key, 0) + sum(chunk)
 
     def result(self, key):
         # a group whose values were all NULL never materialises a total,
@@ -387,17 +450,37 @@ class _BatchSum(BatchAccumulator):
 class _BatchMin(BatchAccumulator):
     __slots__ = ("best", "_getter")
 
+    slice_capable = True
+
     def __init__(self, getter):
         self.best: dict = {}
         self._getter = getter
 
     def add_batch(self, keys, batch):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
         best = self.best
-        for key, value in zip(keys, self._getter(batch)):
+        for key, value in zip(keys, values):
             if value is not None:
                 held = best.get(key)
                 if held is None or value < held:
                     best[key] = value
+
+    def add_slices(self, runs, values):
+        best = self.best
+        offset = 0
+        for key, count in runs:
+            chunk = values[offset : offset + count]
+            offset += count
+            if None in chunk:
+                chunk = [v for v in chunk if v is not None]
+                if not chunk:
+                    continue
+            value = min(chunk)
+            held = best.get(key)
+            if held is None or value < held:
+                best[key] = value
 
     def result(self, key):
         return self.best.get(key)
@@ -406,17 +489,37 @@ class _BatchMin(BatchAccumulator):
 class _BatchMax(BatchAccumulator):
     __slots__ = ("best", "_getter")
 
+    slice_capable = True
+
     def __init__(self, getter):
         self.best: dict = {}
         self._getter = getter
 
     def add_batch(self, keys, batch):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
         best = self.best
-        for key, value in zip(keys, self._getter(batch)):
+        for key, value in zip(keys, values):
             if value is not None:
                 held = best.get(key)
                 if held is None or value > held:
                     best[key] = value
+
+    def add_slices(self, runs, values):
+        best = self.best
+        offset = 0
+        for key, count in runs:
+            chunk = values[offset : offset + count]
+            offset += count
+            if None in chunk:
+                chunk = [v for v in chunk if v is not None]
+                if not chunk:
+                    continue
+            value = max(chunk)
+            held = best.get(key)
+            if held is None or value > held:
+                best[key] = value
 
     def result(self, key):
         return self.best.get(key)
@@ -430,8 +533,11 @@ class _BatchAvg(BatchAccumulator):
         self._getter = getter
 
     def add_batch(self, keys, batch):
+        self.add_vector(keys, self._getter(batch))
+
+    def add_vector(self, keys, values):
         states = self.states
-        for key, value in zip(keys, self._getter(batch)):
+        for key, value in zip(keys, values):
             if value is not None:
                 state = states.get(key)
                 if state is None:

@@ -139,6 +139,8 @@ class QueryStats:
     total_logical_reads: int = 0
     total_pages_written: int = 0
     total_batch_reads: int = 0
+    total_segments_read: int = 0
+    total_segments_skipped: int = 0
 
     def record(self, elapsed: float, rows: int, io: Dict[str, int]) -> None:
         self.execution_count += 1
@@ -150,6 +152,8 @@ class QueryStats:
         )
         self.total_pages_written += io.get("pages_written", 0)
         self.total_batch_reads += io.get("batch_reads", 0)
+        self.total_segments_read += io.get("segments_read", 0)
+        self.total_segments_skipped += io.get("segments_skipped", 0)
 
 
 def normalize_query_text(sql: str) -> str:
@@ -212,6 +216,8 @@ class MetricsRegistry:
                     q.total_logical_reads,
                     q.total_pages_written,
                     q.total_batch_reads,
+                    q.total_segments_read,
+                    q.total_segments_skipped,
                 )
             )
         return rows
@@ -310,6 +316,8 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
                 ("total_logical_reads", int_type()),
                 ("total_pages_written", int_type()),
                 ("total_batch_reads", int_type()),
+                ("total_segments_read", int_type()),
+                ("total_segments_skipped", int_type()),
             ],
         ),
         lambda: db.metrics.query_stats_rows(),
@@ -371,6 +379,48 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         lambda: sorted(db._io_totals().items()),
     )
 
+    def segment_stats_rows() -> List[Tuple[Any, ...]]:
+        rows = []
+        for table in db.catalog.tables():
+            store = getattr(table, "store", None)
+            if store is None:
+                continue
+            for entry in store.segment_report():
+                rows.append(
+                    (
+                        table.schema.name,
+                        entry["column_name"],
+                        entry["segment_id"],
+                        entry["encoding"],
+                        entry["rows"],
+                        entry["null_count"],
+                        entry["n_distinct"],
+                        repr(entry["min_value"]),
+                        repr(entry["max_value"]),
+                        entry["encoded_bytes"],
+                    )
+                )
+        return rows
+
+    segment_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_db_segment_stats",
+            [
+                ("table_name", varchar_type(128)),
+                ("column_name", varchar_type(128)),
+                ("segment_id", int_type()),
+                ("encoding", varchar_type(16)),
+                ("row_count", int_type()),
+                ("null_count", int_type()),
+                ("n_distinct", int_type()),
+                ("min_value", varchar_type(-1)),
+                ("max_value", varchar_type(-1)),
+                ("encoded_bytes", int_type()),
+            ],
+        ),
+        segment_stats_rows,
+    )
+
     def verify_rows() -> List[Tuple[Any, ...]]:
         rows = list(db.catalog.functions.verification_rows())
         rows.extend(db.lint_rows())
@@ -394,5 +444,6 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         "sys_dm_exec_query_stats": query_stats,
         "sys_dm_db_index_stats": index_stats,
         "sys_dm_io_stats": io_stats,
+        "sys_dm_db_segment_stats": segment_stats,
         "sys_dm_verify_results": verify_results,
     }

@@ -115,6 +115,18 @@ class CostModel:
     # batch (vectorized) execution: per-row cost multiplier for operators
     # running batch-at-a-time — the amortised interpreter dispatch
     batch_cost_factor = 0.4
+    # columnstore access: rows decode in bulk from (cached) segment
+    # vectors, so the per-row charge undercuts the heap's
+    column_scan_row_cost = 0.6
+    # evaluating one pushed conjunct per surviving row (encoded
+    # selection: once per dictionary entry / RLE run, then membership)
+    pushed_predicate_row_cost = 0.05
+    # segment-at-a-time aggregation never materialises row tuples
+    encoded_agg_row_cost = 0.6
+    # pushing a conjunct whose selectivity exceeds this filters (almost)
+    # nothing: every segment still reads, but the scan now builds a
+    # positions list per segment — pricier than the compiled residual
+    columnstore_push_threshold = 0.95
 
     def __init__(self, **overrides: float):
         for name, value in overrides.items():
@@ -302,6 +314,38 @@ class CostModel:
         )
         return merge <= hash_cost
 
+    def worth_pushing(self, selectivity: float) -> bool:
+        """Should one conjunct move into the column scan (encoded
+        evaluation) rather than stay in the residual row filter?"""
+        return selectivity <= self.columnstore_push_threshold
+
+    def encoded_agg_wins(self, input_rows: int, dop: int) -> bool:
+        """Encoded (segment-at-a-time) aggregation vs the parallel
+        exchange plan: the exchange repartitions *materialised* rows,
+        paying its startup cost plus per-row repartitioning the encoded
+        path never does — at the defaults the encoded plan prices below
+        the exchange at every input size."""
+        encoded = input_rows * self.encoded_agg_row_cost
+        parallel = (
+            self.exchange_startup_cost
+            + input_rows * self.repartition_row_cost
+            + input_rows * self.agg_row_cost / max(dop, 1)
+        )
+        return encoded <= parallel
+
+    def columnstore_scan_cost(self, op) -> float:
+        """Price a column scan by the segments its zone maps keep: the
+        skipped fraction of the table is never decoded at all."""
+        table_rows = op.table.row_count
+        read, skipped = op.store.prune_estimate(op.predicates)
+        total = read + skipped
+        fraction = (read / total) if total else 1.0
+        rows_scanned = table_rows * fraction
+        return rows_scanned * (
+            self.column_scan_row_cost
+            + len(op.predicates) * self.pushed_predicate_row_cost
+        )
+
     def parallel_agg_wins(self, input_rows: int, dop: int) -> bool:
         """Does the exchange-based parallel aggregation price below the
         serial hash aggregate for this input size?"""
@@ -324,8 +368,10 @@ class CostModel:
         from ..executor import (
             ClusteredIndexScan,
             ClusteredIndexSeek,
+            ColumnStoreScan,
             CrossApply,
             Distinct,
+            EncodedAggregate,
             Filter,
             FusedFilterProject,
             HashAggregate,
@@ -352,7 +398,7 @@ class CostModel:
 
         rows = op.est_rows
         if rows is None:
-            if isinstance(op, (TableScan, ClusteredIndexScan)):
+            if isinstance(op, (TableScan, ClusteredIndexScan, ColumnStoreScan)):
                 rows = op.table.row_count
             elif isinstance(op, (ClusteredIndexSeek, SecondaryIndexSeek)):
                 rows = max(op.table.row_count // 10, 1)
@@ -378,7 +424,9 @@ class CostModel:
                 rows = self.default_tvf_rows
             op.est_rows = rows
 
-        if isinstance(op, TableScan):
+        if isinstance(op, ColumnStoreScan):
+            self_cost = self.columnstore_scan_cost(op)
+        elif isinstance(op, TableScan):
             self_cost = op.table.row_count * self.scan_row_cost
         elif isinstance(op, ClusteredIndexScan):
             self_cost = op.table.row_count * self.ordered_scan_row_cost
@@ -418,6 +466,12 @@ class CostModel:
                 self.exchange_startup_cost
                 + first * self.repartition_row_cost
                 + first * self.agg_row_cost / max(op.dop, 1)
+                + rows * self.output_row_cost
+            )
+        elif isinstance(op, EncodedAggregate):
+            # subclass check must precede the HashAggregate branch
+            self_cost = (
+                first * self.encoded_agg_row_cost
                 + rows * self.output_row_cost
             )
         elif isinstance(op, HashAggregate):

@@ -40,8 +40,10 @@ from .executor import (
     AggregateSpec,
     ClusteredIndexScan,
     ClusteredIndexSeek,
+    ColumnStoreScan,
     CrossApply,
     Distinct,
+    EncodedAggregate,
     Filter,
     FusedFilterProject,
     HashAggregate,
@@ -60,10 +62,13 @@ from .executor import (
     TvfScan,
 )
 from .expressions import (
+    Between,
     BoundRef,
     ColumnRef,
     Expr,
     ExpressionCompiler,
+    InList,
+    IsNull,
     Literal,
     BinaryOp,
     column_refs,
@@ -71,6 +76,9 @@ from .expressions import (
     rewrite,
 )
 from .optimizer import CostModel, apply_rewrites, lower_select
+from .optimizer.cost import _column_comparison
+from .storage.base import STORAGE_COLUMN
+from .storage.columnstore import PushedPredicate
 from .optimizer.logical import (
     LogicalAggregate,
     LogicalApply,
@@ -292,7 +300,14 @@ class Planner:
         if source is None:
             return MaterializedResult([], [()])  # constant one-row input
         if isinstance(source, ast.TableRef):
-            scan = TableScan(
+            store = getattr(node.table, "store", None)
+            scan_class = (
+                ColumnStoreScan
+                if store is not None
+                and store.engine_name == STORAGE_COLUMN
+                else TableScan
+            )
+            scan = scan_class(
                 node.table,
                 alias=source.binding_name,
                 projection=node.required,
@@ -579,6 +594,11 @@ class Planner:
         # Price an index seek against scan + residual filter.
         if isinstance(op, TableScan):
             op, conjuncts = self._try_seek(op, conjuncts)
+        # Column tables instead push conjuncts into the scan itself,
+        # where zone maps skip segments and the encoded vectors evaluate
+        # the predicate without materialising rows.
+        if isinstance(op, ColumnStoreScan):
+            op, conjuncts = self._push_into_columnstore(op, conjuncts)
         if not conjuncts:
             return op
         compiler = ExpressionCompiler(make_binder(op), library)
@@ -733,6 +753,105 @@ class Planner:
         remaining = [c for c in conjuncts if id(c) not in consumed_ids]
         return seek, remaining
 
+    def _pushable_predicate(
+        self, scan: ColumnStoreScan, conjunct: Expr
+    ) -> Optional[PushedPredicate]:
+        """Translate one conjunct into a :class:`PushedPredicate` over
+        the scan's *schema* column positions, or None when its shape is
+        out of reach for encoded evaluation.
+
+        NULL literals are never pushed: ``col <> NULL`` must match
+        nothing, which the three-valued compiled predicate gets right
+        but a two-valued matcher would not."""
+        binder = make_binder(scan)
+
+        def schema_position(ref: Expr) -> Optional[int]:
+            if not isinstance(ref, ColumnRef):
+                return None
+            try:
+                return scan.schema_index(binder(ref))
+            except BindError:
+                return None
+
+        label = expression_to_sql(conjunct)
+        comparison = _column_comparison(conjunct)
+        if comparison is not None:
+            ref, op, value = comparison
+            position = schema_position(ref)
+            if position is None or value is None:
+                return None
+            if op == "!=":
+                op = "<>"
+            return PushedPredicate(position, op, value, label=label)
+        if isinstance(conjunct, Between):
+            position = schema_position(conjunct.operand)
+            if (
+                position is None
+                or not isinstance(conjunct.low, Literal)
+                or not isinstance(conjunct.high, Literal)
+                or conjunct.low.value is None
+                or conjunct.high.value is None
+            ):
+                return None
+            return PushedPredicate(
+                position,
+                "between",
+                (conjunct.low.value, conjunct.high.value),
+                label=label,
+            )
+        if isinstance(conjunct, InList):
+            position = schema_position(conjunct.operand)
+            if position is None or not all(
+                isinstance(item, Literal) and item.value is not None
+                for item in conjunct.items
+            ):
+                return None
+            try:
+                values = frozenset(item.value for item in conjunct.items)
+            except TypeError:
+                return None
+            return PushedPredicate(position, "in", values, label=label)
+        if isinstance(conjunct, IsNull):
+            position = schema_position(conjunct.operand)
+            if position is None:
+                return None
+            return PushedPredicate(
+                position,
+                "notnull" if conjunct.negated else "isnull",
+                None,
+                label=label,
+            )
+        return None
+
+    def _push_into_columnstore(
+        self, scan: ColumnStoreScan, conjuncts: List[Expr]
+    ) -> Tuple[ColumnStoreScan, List[Expr]]:
+        """Move pushable conjuncts into the column scan, where zone maps
+        prune whole segments and the survivors evaluate on encoded
+        vectors; the rest stay for the compiled residual filter.
+
+        Each conjunct is gated individually by the cost model: a
+        predicate that filters (almost) nothing would pay encoded
+        selection per segment without ever skipping one, so it stays in
+        the residual (materialize-then-filter)."""
+        table = scan.table
+        pushed: List[PushedPredicate] = []
+        pushed_exprs: List[Expr] = []
+        remaining: List[Expr] = []
+        for conjunct in conjuncts:
+            predicate = self._pushable_predicate(scan, conjunct)
+            if predicate is None or not self.cost.worth_pushing(
+                self.cost.conjunct_selectivity(conjunct, table)
+            ):
+                remaining.append(conjunct)
+                continue
+            pushed.append(predicate)
+            pushed_exprs.append(conjunct)
+        if pushed:
+            scan.set_predicates(list(scan.predicates) + pushed)
+            scan.est_rows = self.cost.scan_output(table, pushed_exprs)
+        return scan, remaining
+
     # -- GROUP BY / aggregates -----------------------------------------------------------
 
     def _apply_group_by(
@@ -805,6 +924,19 @@ class Planner:
         go_parallel = (
             node.maxdop is not None and node.maxdop > 1
         ) or self.cost.parallel_agg_wins(input_rows, dop)
+        # segment-at-a-time aggregation over an encoded column scan:
+        # the exchange plan would repartition materialised rows, so when
+        # the encoded plan prices below it (and no MAXDOP hint forces
+        # parallelism) the aggregation stays on the encoded vectors
+        encoded_eligible = EncodedAggregate.eligible(
+            op, group_indexes, specs
+        )
+        if (
+            encoded_eligible
+            and (node.maxdop is None or node.maxdop <= 1)
+            and self.cost.encoded_agg_wins(input_rows, dop)
+        ):
+            go_parallel = False
 
         # a UDA that *claims* parallel_safe but failed merge verification
         # falls out of all_parallel_safe (AggregateSpec consults
@@ -864,6 +996,15 @@ class Planner:
             if ordered is not None:
                 result = StreamAggregate(
                     ordered, group_fns, group_names, specs, agg_names
+                )
+            elif encoded_eligible:
+                result = EncodedAggregate(
+                    op,
+                    group_fns,
+                    group_names,
+                    specs,
+                    agg_names,
+                    group_indexes=group_indexes,
                 )
             else:
                 result = HashAggregate(

@@ -18,6 +18,10 @@ COMPRESSION_NONE = "NONE"
 COMPRESSION_ROW = "ROW"
 COMPRESSION_PAGE = "PAGE"
 
+#: storage engines (access methods); see repro.engine.storage.base
+STORAGE_HEAP = "heap"
+STORAGE_COLUMN = "column"
+
 
 @dataclass(frozen=True)
 class Column:
@@ -80,6 +84,12 @@ class TableSchema:
     filestream_group:
         Name of the filegroup for FILESTREAM columns (cosmetic, mirrors
         the T-SQL syntax in the paper).
+    storage:
+        Access method storing the rows: ``"heap"`` (slotted pages, the
+        default) or ``"column"`` (encoded columnar segments).
+    segment_rows:
+        Rows per sealed column-store segment (``WITH (SEGMENT_ROWS=n)``);
+        None uses the engine default. Ignored by the heap.
     """
 
     def __init__(
@@ -91,6 +101,8 @@ class TableSchema:
         compression: str = COMPRESSION_NONE,
         heap: bool = False,
         filestream_group: Optional[str] = None,
+        storage: str = STORAGE_HEAP,
+        segment_rows: Optional[int] = None,
     ):
         if not columns:
             raise BindError(f"table {name!r} must have at least one column")
@@ -118,10 +130,22 @@ class TableSchema:
         self.compression = compression
         self.heap = heap or not self.primary_key
         self.filestream_group = filestream_group
+        if storage not in (STORAGE_HEAP, STORAGE_COLUMN):
+            raise BindError(f"unknown storage engine {storage!r}")
+        self.storage = storage
+        if segment_rows is not None and segment_rows < 2:
+            raise BindError(
+                f"SEGMENT_ROWS must be at least 2, got {segment_rows}"
+            )
+        self.segment_rows = segment_rows
         fs_cols = [c for c in self.columns if c.sql_type.filestream]
         if fs_cols and not any(c.rowguidcol for c in self.columns):
             raise BindError(
                 f"table {name!r} has FILESTREAM columns but no ROWGUIDCOL"
+            )
+        if fs_cols and storage == STORAGE_COLUMN:
+            raise BindError(
+                f"table {name!r}: FILESTREAM columns require heap storage"
             )
 
     # -- lookups -------------------------------------------------------------

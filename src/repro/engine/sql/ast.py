@@ -158,6 +158,10 @@ class CreateTableStmt:
     foreign_keys: List[ForeignKeyDef] = field(default_factory=list)
     compression: str = "NONE"
     filestream_group: Optional[str] = None
+    #: access method: "heap" (default) or "column"
+    storage: str = "heap"
+    #: rows per sealed column-store segment; None = engine default
+    segment_rows: Optional[int] = None
 
 
 @dataclass

@@ -34,6 +34,7 @@ KEYWORDS = {
     "OPENROWSET", "BULK", "SINGLE_BLOB", "CLUSTERED", "EXISTS", "UNION",
     "ALL", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "EXPLAIN",
     "OPTION", "MAXDOP", "TRUNCATE", "STATISTICS", "ANALYZE", "OFF",
+    "STORAGE", "SEGMENT_ROWS",
 }
 
 _TWO_CHAR_OPS = {"<>", "<=", ">=", "!=", "=="}

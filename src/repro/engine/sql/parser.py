@@ -455,13 +455,51 @@ class Parser:
                 break
         self._expect_punct(")")
         compression = "NONE"
+        storage = "heap"
+        segment_rows: Optional[int] = None
         if self._accept_keyword("WITH"):
             self._expect_punct("(")
-            self._expect_keyword("DATA_COMPRESSION")
-            if self._accept_op("=") is None:
-                raise self._error("expected '=' after DATA_COMPRESSION")
-            token = self._expect_keyword("ROW", "PAGE", "NONE")
-            compression = token.value
+            while True:
+                option = self._expect_keyword(
+                    "DATA_COMPRESSION", "STORAGE", "SEGMENT_ROWS"
+                )
+                if self._accept_op("=") is None:
+                    raise self._error(f"expected '=' after {option.value}")
+                if option.value == "DATA_COMPRESSION":
+                    token = self._expect_keyword("ROW", "PAGE", "NONE")
+                    compression = token.value
+                elif option.value == "STORAGE":
+                    token = self._peek()
+                    if token.type == STRING:
+                        self._next()
+                        engine = token.value
+                    elif token.matches_keyword("ROW", "STORAGE"):
+                        # unquoted; tolerated for symmetry with
+                        # DATA_COMPRESSION but 'HEAP'/'COLUMN' is canonical
+                        engine = self._next().value
+                    elif token.type == IDENT:
+                        engine = self._next().value
+                    else:
+                        raise self._error(
+                            "expected a storage engine name ('HEAP' or "
+                            "'COLUMN') after STORAGE ="
+                        )
+                    storage = engine.lower()
+                    if storage not in ("heap", "column"):
+                        raise self._error(
+                            f"unknown storage engine {engine!r} "
+                            "(expected 'HEAP' or 'COLUMN')"
+                        )
+                else:  # SEGMENT_ROWS
+                    token = self._peek()
+                    if token.type != NUMBER:
+                        raise self._error(
+                            "expected a row count after SEGMENT_ROWS ="
+                        )
+                    self._next()
+                    segment_rows = int(token.value)
+                if not self._accept_punct(","):
+                    break
             self._expect_punct(")")
         filestream_group = None
         if self._accept_keyword("FILESTREAM_ON"):
@@ -479,6 +517,8 @@ class Parser:
             foreign_keys=foreign_keys,
             compression=compression,
             filestream_group=filestream_group,
+            storage=storage,
+            segment_rows=segment_rows,
         )
 
     def _parse_column_def(self) -> ast.ColumnDef:

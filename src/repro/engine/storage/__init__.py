@@ -1,7 +1,35 @@
-"""Storage layer: row serialisation, slotted pages, compression, heaps."""
+"""Storage layer: the pluggable access methods (row heap, columnar
+segment store) plus row serialisation, slotted pages, and compression."""
 
+from .base import (
+    AccessMethod,
+    Rid,
+    STORAGE_COLUMN,
+    STORAGE_HEAP,
+    create_access_method,
+    register_access_method,
+)
+from .columnstore import (
+    ColumnStore,
+    DEFAULT_SEGMENT_ROWS,
+    PushedPredicate,
+)
 from .heap import HeapFile
 from .page import PAGE_SIZE, Page
 from .serializer import RowSerializer
 
-__all__ = ["HeapFile", "PAGE_SIZE", "Page", "RowSerializer"]
+__all__ = [
+    "AccessMethod",
+    "ColumnStore",
+    "DEFAULT_SEGMENT_ROWS",
+    "HeapFile",
+    "PAGE_SIZE",
+    "Page",
+    "PushedPredicate",
+    "Rid",
+    "RowSerializer",
+    "STORAGE_COLUMN",
+    "STORAGE_HEAP",
+    "create_access_method",
+    "register_access_method",
+]

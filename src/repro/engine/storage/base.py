@@ -1,0 +1,129 @@
+"""The pluggable access-method layer.
+
+A table's rows live behind an :class:`AccessMethod`: the contract the
+:class:`~repro.engine.table.Table` facade, the executor's scans, and the
+observability layer (SET STATISTICS IO, ``sys_dm_io_stats``) program
+against. Two implementations ship:
+
+- ``heap`` — :class:`~repro.engine.storage.heap.HeapFile`, slotted
+  pages in insertion order (the default, and the paper's row store);
+- ``column`` — :class:`~repro.engine.storage.columnstore.ColumnStore`,
+  per-column encoded segments with zone maps.
+
+Records are addressed by a ``rid`` — an opaque ``(major, minor)`` pair
+whose meaning belongs to the access method (page/slot for the heap,
+segment/offset for the column store). Indexes store rids and hand them
+back to :meth:`AccessMethod.fetch` without interpreting them, which is
+what lets a B+tree index sit on either engine unchanged.
+
+Counter namespaces are part of the contract: each access method reports
+its IO under counter names that do not collide with the other engines'
+(``pages_read`` vs ``segments_read``), so a database mixing storage
+engines can merge every table's :meth:`io_report` into one
+``sys_dm_io_stats`` view without cross-engine sums becoming meaningless.
+Only counters with shared semantics (``rows_inserted``, ``scans``,
+``batch_reads``, ``bytes_written``, ``bytes_uncompressed``) are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import BindError
+from ..metrics import Counters
+from ..schema import TableSchema
+
+Rid = Tuple[int, int]
+
+#: schema.storage values
+STORAGE_HEAP = "heap"
+STORAGE_COLUMN = "column"
+
+
+class AccessMethod:
+    """Base class / protocol for table storage engines."""
+
+    #: short engine tag printed by EXPLAIN scan nodes and the storage
+    #: report ("heap" / "column")
+    engine_name: str = "?"
+
+    schema: TableSchema
+    #: always-on IO counters (SET STATISTICS IO / sys_dm_io_stats);
+    #: counter names must follow the namespace contract above
+    io: Counters
+
+    # -- write path ----------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> Rid:
+        raise NotImplementedError
+
+    def delete(self, rid: Rid) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def seal_all(self, force: bool = True) -> None:
+        """Finish a bulk load: seal open pages / encode the open segment.
+
+        ``force=False`` marks a per-statement boundary rather than an
+        explicit bulk-load end; engines with expensive seals (the column
+        store) may keep a small tail open as a delta store."""
+        raise NotImplementedError
+
+    # -- read path -----------------------------------------------------------
+
+    def fetch(self, rid: Rid) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def scan(self) -> Iterator[Tuple[Rid, Tuple[Any, ...]]]:
+        raise NotImplementedError
+
+    def scan_batches(self) -> Iterator[list]:
+        raise NotImplementedError
+
+    # -- accounting / stats hooks ---------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        raise NotImplementedError
+
+    def stored_bytes(self, include_page_overhead: bool = True) -> int:
+        raise NotImplementedError
+
+    def uncompressed_bytes(self) -> int:
+        raise NotImplementedError
+
+    def io_report(self) -> Counters:
+        """Engine counters, already in this engine's namespace."""
+        return self.io.snapshot()
+
+    def segment_report(self) -> List[dict]:
+        """Per-segment metadata rows for ``sys_dm_db_segment_stats``
+        and the optimizer's statistics harvest. Row stores have none."""
+        return []
+
+    def encoding_summary(self) -> Dict[str, str]:
+        """column name -> dominant encoding, for the storage report."""
+        return {}
+
+
+#: registry: schema.storage value -> AccessMethod factory
+_ACCESS_METHODS: Dict[str, Callable[..., AccessMethod]] = {}
+
+
+def register_access_method(
+    name: str, factory: Callable[..., AccessMethod]
+) -> None:
+    _ACCESS_METHODS[name.lower()] = factory
+
+
+def create_access_method(
+    schema: TableSchema, udt_codec_lookup=None
+) -> AccessMethod:
+    """Instantiate the access method a schema asks for (default heap)."""
+    name = getattr(schema, "storage", STORAGE_HEAP) or STORAGE_HEAP
+    try:
+        factory = _ACCESS_METHODS[name.lower()]
+    except KeyError:
+        raise BindError(
+            f"unknown storage engine {name!r} for table {schema.name!r}"
+        ) from None
+    return factory(schema, udt_codec_lookup=udt_codec_lookup)

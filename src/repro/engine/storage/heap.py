@@ -23,14 +23,15 @@ from ..schema import (
     TableSchema,
     TableStatistics,
 )
+from .base import AccessMethod, Rid, STORAGE_HEAP, register_access_method
 from .page import PAGE_HEADER_SIZE, Page
 from .serializer import RowSerializer
 
-Rid = Tuple[int, int]
 
-
-class HeapFile:
+class HeapFile(AccessMethod):
     """Page-based record store for one table."""
+
+    engine_name = STORAGE_HEAP
 
     def __init__(
         self,
@@ -91,9 +92,10 @@ class HeapFile:
         self.io.incr("bytes_uncompressed", uncompressed)
         return (page.page_id, slot)
 
-    def seal_all(self) -> None:
+    def seal_all(self, force: bool = True) -> None:
         """Seal the tail page (e.g. at the end of a bulk load) so PAGE
-        compression covers every page."""
+        compression covers every page.  Heap pages are cheap to seal, so
+        ``force`` is irrelevant here — every statement boundary seals."""
         if self.pages and not self.pages[-1].sealed:
             self._seal(self.pages[-1])
 
@@ -185,3 +187,14 @@ class HeapFile:
 
     def uncompressed_bytes(self) -> int:
         return self.stats.uncompressed_bytes + PAGE_HEADER_SIZE * len(self.pages)
+
+
+def _make_heap(schema: TableSchema, udt_codec_lookup=None) -> HeapFile:
+    return HeapFile(
+        schema,
+        compression=schema.compression,
+        udt_codec_lookup=udt_codec_lookup,
+    )
+
+
+register_access_method(STORAGE_HEAP, _make_heap)

@@ -23,7 +23,7 @@ from .filestream import FileStreamStore
 from .index.btree import BPlusTree
 from .metrics import Counters
 from .schema import COMPRESSION_NONE, Column, TableSchema
-from .storage.heap import HeapFile, Rid
+from .storage.base import Rid, create_access_method
 
 
 class Table:
@@ -36,10 +36,10 @@ class Table:
         udt_codec_lookup=None,
     ):
         self.schema = schema
-        self.heap = HeapFile(
-            schema,
-            compression=schema.compression,
-            udt_codec_lookup=udt_codec_lookup,
+        #: the access method storing this table's rows (heap or column
+        #: store), selected by ``schema.storage``
+        self.store = create_access_method(
+            schema, udt_codec_lookup=udt_codec_lookup
         )
         self._fs_store = filestream_store
         self._fs_columns = tuple(
@@ -60,7 +60,16 @@ class Table:
         )
         self._secondary: Dict[str, Tuple[Tuple[int, ...], BPlusTree]] = {}
         #: optimizer statistics, populated by UPDATE STATISTICS / analyze()
-        self.statistics = None
+        self._statistics = None
+        #: (sealed-segment count, TableStats) cache for the zero-scan
+        #: statistics harvested from columnstore segment metadata
+        self._harvested_statistics = None
+
+    @property
+    def heap(self):
+        """Back-compat alias for :attr:`store`, from when the heap was
+        the only access method. ``fetch``/``scan`` work on both engines."""
+        return self.store
 
     # -- inserts ---------------------------------------------------------------------
 
@@ -106,7 +115,7 @@ class Table:
             ident = row[self._identity_col]
             if isinstance(ident, int) and ident >= self._next_identity:
                 self._next_identity = ident + 1
-        rid = self.heap.insert(row)
+        rid = self.store.insert(row)
         if self._pk_index is not None:
             self._pk_index.insert(key, rid)
         for name, (col_idxs, tree) in self._secondary.items():
@@ -120,16 +129,20 @@ class Table:
             count += 1
         return count
 
-    def finish_bulk_load(self) -> None:
-        """Seal the tail page so PAGE compression covers all pages."""
-        self.heap.seal_all()
+    def finish_bulk_load(self, force: bool = True) -> None:
+        """Seal the open tail (heap: the tail page, so PAGE compression
+        covers every page; column store: the tail segment, so encodings
+        and zone maps cover every row).  ``force=False`` marks a
+        per-statement boundary: the column store then keeps a small tail
+        open as its delta store instead of sealing one-row segments."""
+        self.store.seal_all(force=force)
 
     # -- deletes ---------------------------------------------------------------------
 
     def delete_where(self, predicate: Callable[[Tuple[Any, ...]], bool]) -> int:
         """Delete all rows matching ``predicate``; returns the count."""
         victims = [
-            (rid, row) for rid, row in self.heap.scan() if predicate(row)
+            (rid, row) for rid, row in self.store.scan() if predicate(row)
         ]
         for rid, row in victims:
             self._delete_rid(rid, row)
@@ -154,7 +167,7 @@ class Table:
                 f"{self.schema.name!r}"
             )
         victims = [
-            (rid, row) for rid, row in self.heap.scan() if predicate(row)
+            (rid, row) for rid, row in self.store.scan() if predicate(row)
         ]
         for rid, row in victims:
             self._delete_rid(rid, row)
@@ -175,7 +188,7 @@ class Table:
         return len(victims)
 
     def _delete_rid(self, rid: Rid, row: Tuple[Any, ...]) -> None:
-        self.heap.delete(rid)
+        self.store.delete(rid)
         if self._pk_index is not None:
             self._pk_index.delete(self.schema.key_of(row))
         for name, (col_idxs, tree) in self._secondary.items():
@@ -201,19 +214,19 @@ class Table:
     def scan(self) -> Iterator[Tuple[Any, ...]]:
         """All rows in physical (heap) order."""
         if self._fs_columns:
-            for _rid, row in self.heap.scan():
+            for _rid, row in self.store.scan():
                 yield self._surface(row)
         else:
-            for _rid, row in self.heap.scan():
+            for _rid, row in self.store.scan():
                 yield row
 
     def scan_batches(self) -> Iterator[List[Tuple[Any, ...]]]:
         """All rows in physical order, one page-aligned batch per page."""
         if self._fs_columns:
-            for batch in self.heap.scan_batches():
+            for batch in self.store.scan_batches():
                 yield [self._surface(row) for row in batch]
         else:
-            yield from self.heap.scan_batches()
+            yield from self.store.scan_batches()
 
     def ordered_scan(self) -> Iterator[Tuple[Any, ...]]:
         """All rows in primary-key order (clustered-index scan)."""
@@ -221,7 +234,7 @@ class Table:
             raise BindError(
                 f"table {self.schema.name!r} has no primary key to order by"
             )
-        fetch = self.heap.fetch
+        fetch = self.store.fetch
         for _key, rid in self._pk_index.items():
             yield self._surface(fetch(rid))
 
@@ -233,7 +246,7 @@ class Table:
         """Clustered-index range seek; prefix bounds allowed."""
         if self._pk_index is None:
             raise BindError(f"table {self.schema.name!r} has no primary key")
-        fetch = self.heap.fetch
+        fetch = self.store.fetch
         for _key, rid in self._pk_index.range(lo, hi):
             yield self._surface(fetch(rid))
 
@@ -245,7 +258,7 @@ class Table:
             rid = self._pk_index.get(key)
         except KeyError:
             return None
-        return self._surface(self.heap.fetch(rid))
+        return self._surface(self.store.fetch(rid))
 
     # -- secondary indexes --------------------------------------------------------------
 
@@ -255,7 +268,7 @@ class Table:
             raise BindError(f"index {name!r} already exists")
         col_idxs = tuple(self.schema.column_index(c) for c in columns)
         tree = BPlusTree(unique=False)
-        for rid, row in self.heap.scan():
+        for rid, row in self.store.scan():
             tree.insert(tuple(row[i] for i in col_idxs), rid)
         self._secondary[name.lower()] = (col_idxs, tree)
 
@@ -269,7 +282,7 @@ class Table:
             _col_idxs, tree = self._secondary[name.lower()]
         except KeyError:
             raise BindError(f"unknown index {name!r}") from None
-        fetch = self.heap.fetch
+        fetch = self.store.fetch
         for _key, rid in tree.range(lo, hi):
             yield self._surface(fetch(rid))
 
@@ -281,6 +294,30 @@ class Table:
         }
 
     # -- statistics ------------------------------------------------------------------
+
+    @property
+    def statistics(self):
+        """Explicitly collected statistics; for column tables without
+        any, statistics harvested zero-scan from the per-segment zone
+        maps and distinct hints (re-harvested whenever a new segment
+        seals)."""
+        if self._statistics is not None:
+            return self._statistics
+        segments = getattr(self.store, "segments", None)
+        if not segments:
+            return None
+        cached = self._harvested_statistics
+        if cached is not None and cached[0] == len(segments):
+            return cached[1]
+        from .optimizer.statistics import harvest_segment_statistics
+
+        harvested = harvest_segment_statistics(self)
+        self._harvested_statistics = (len(segments), harvested)
+        return harvested
+
+    @statistics.setter
+    def statistics(self, value):
+        self._statistics = value
 
     def analyze(self, buckets: Optional[int] = None,
                 mcv_size: Optional[int] = None):
@@ -316,31 +353,35 @@ class Table:
 
     @property
     def row_count(self) -> int:
-        return self.heap.row_count
+        return self.store.row_count
 
     def stored_bytes(self) -> int:
         """In-row storage bytes (pages), excluding FILESTREAM payloads."""
-        return self.heap.stored_bytes()
+        return self.store.stored_bytes()
 
     def filestream_bytes(self) -> int:
         """Bytes of FILESTREAM payloads owned by this table's rows."""
         if not self._fs_columns:
             return 0
         total = 0
-        for _rid, row in self.heap.scan():
+        for _rid, row in self.store.scan():
             for i in self._fs_columns:
                 if row[i] is not None:
                     total += self._fs_store.data_length(uuid.UUID(bytes=row[i]))
         return total
 
     def uncompressed_bytes(self) -> int:
-        return self.heap.uncompressed_bytes()
+        return self.store.uncompressed_bytes()
 
     def io_report(self) -> Counters:
-        """Combined IO counters for this table: heap counters as-is,
-        B+tree counters (clustered + secondary, summed) under an
-        ``index_`` prefix. Used by SET STATISTICS IO and the DMVs."""
-        out = self.heap.io.snapshot()
+        """Combined IO counters for this table: the access method's
+        counters in its own namespace (heap: ``pages_read``...; column
+        store: ``segments_read``...; see ``storage.base`` for the
+        no-collision contract that keeps mixed-engine databases summable
+        in ``sys_dm_io_stats``), plus B+tree counters (clustered +
+        secondary, summed) under an ``index_`` prefix. Used by SET
+        STATISTICS IO and the DMVs."""
+        out = self.store.io_report()
         if self._pk_index is not None:
             out.merge(self._pk_index.io, prefix="index_")
         for _name, (_cols, tree) in self._secondary.items():

@@ -138,6 +138,47 @@ class TestSystemViews:
         assert io["pages_written"] >= 1
         assert io["scans"] >= 1
 
+    def test_io_stats_mixed_engines_no_counter_collision(self, db):
+        # regression: heap PAGE compression and columnstore encoding once
+        # shared compression_bytes_in/out, so a mixed-engine database
+        # summed two unrelated ratios into one sys_dm_io_stats row
+        db.execute(
+            "CREATE TABLE ct (id INT, v INT) "
+            "WITH (STORAGE = 'COLUMN', SEGMENT_ROWS = 4)"
+        )
+        db.execute(
+            "INSERT INTO ct VALUES (1, 1), (2, 1), (3, 2), (4, 2), (5, 3)"
+        )
+        db.query("SELECT COUNT(*) FROM ct WHERE id > 2")
+        io = dict(db.query("SELECT counter, value FROM sys_dm_io_stats"))
+        # columnstore counters live in their own namespace...
+        assert io["segments_written"] >= 1
+        assert io["segment_bytes_in"] > 0
+        assert io["segment_bytes_out"] > 0
+        assert io["segments_read"] >= 1
+        # ...and never leak into the heap's page/compression counters
+        assert io.get("compression_bytes_in", 0) == 0
+        heap_io = db.table("t").io_report()
+        column_io = db.table("ct").io_report()
+        assert "segments_written" not in heap_io
+        assert "pages_written" not in column_io
+
+    def test_query_stats_view_reports_segment_pruning(self, db):
+        db.execute(
+            "CREATE TABLE cq (id INT) "
+            "WITH (STORAGE = 'COLUMN', SEGMENT_ROWS = 4)"
+        )
+        db.execute(
+            "INSERT INTO cq VALUES (1), (2), (3), (4), (5), (6), (7), (8)"
+        )
+        db.query("SELECT COUNT(*) FROM cq WHERE id > 6")
+        rows = db.query(
+            "SELECT query_text, total_segments_read, total_segments_skipped "
+            "FROM sys_dm_exec_query_stats WHERE total_segments_skipped > 0"
+        )
+        assert rows
+        assert rows[0][0] == "SELECT COUNT(*) FROM cq WHERE id > 6"
+
     def test_views_are_read_only(self, db):
         with pytest.raises(BindError):
             db.execute("INSERT INTO sys_dm_io_stats VALUES ('x', 1)")

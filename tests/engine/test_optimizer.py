@@ -186,7 +186,7 @@ class TestLogicalPlan:
 class TestProjectionPruning:
     def test_scan_narrowed_to_referenced_columns(self, db):
         plan = db.explain("SELECT amount FROM orders WHERE store = 1")
-        assert "Table Scan [orders] (cols: store, amount)" in plan
+        assert "Table Scan [orders] (storage=heap; cols: store, amount)" in plan
 
     def test_pruned_results_correct(self, db):
         rows = db.query("SELECT amount FROM orders WHERE store = 1")

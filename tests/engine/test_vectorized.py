@@ -44,12 +44,27 @@ def assert_identical(db, sql):
 # ---------------------------------------------------------------------------
 
 
+@pytest.fixture(scope="module", params=["heap", "column"])
+def storage_engine(request):
+    return request.param
+
+
 @pytest.fixture(scope="module")
-def db():
+def db(storage_engine):
+    """The synthetic differential database, built once per storage
+    engine: every test in this module runs against a heap-backed and a
+    columnstore-backed ``sales`` table, and row/batch results must be
+    byte-identical on both. A small SEGMENT_ROWS forces many sealed
+    segments so encoded execution and zone maps actually engage."""
+    with_clause = (
+        " WITH (STORAGE = 'COLUMN', SEGMENT_ROWS = 256)"
+        if storage_engine == "column"
+        else ""
+    )
     database = Database()
     database.execute(
         "CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR(10), "
-        "product VARCHAR(10), amount INT, price FLOAT)"
+        f"product VARCHAR(10), amount INT, price FLOAT){with_clause}"
     )
     regions = ["north", "south", "east", "west"]
     products = ["widget", "gadget", "gizmo"]
@@ -174,10 +189,17 @@ class TestExplainLabels:
         "WHERE amount > 10 GROUP BY region"
     )
 
-    def test_explain_shows_batch_mode(self, db):
+    def test_explain_shows_batch_mode(self, db, storage_engine):
         plan = db.explain(self.SQL)
         assert "batch mode" in plan
-        assert "Table Scan" in plan
+        if storage_engine == "heap":
+            assert "Table Scan" in plan
+        else:
+            assert "Columnstore Index Scan" in plan
+
+    def test_scan_node_labels_storage_engine(self, db, storage_engine):
+        plan = db.explain(self.SQL)
+        assert f"storage={storage_engine}" in plan
 
     def test_explain_analyze_shows_batch_counts(self, db):
         plan = db.execute("EXPLAIN ANALYZE " + self.SQL)
