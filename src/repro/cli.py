@@ -123,7 +123,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     reference = list(read_fasta(args.reference))
     reads = list(read_fastq(args.fastq))
     started = time.perf_counter()
-    with GenomicsWarehouse(data_dir=out_dir / "warehouse") as warehouse:
+    with GenomicsWarehouse(
+        data_dir=out_dir / "warehouse", default_dop=args.dop
+    ) as warehouse:
         warehouse.load_reference(reference)
         if args.genes:
             warehouse.load_genes(_read_genes(Path(args.genes)))
@@ -275,7 +277,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from .engine import Database
     from .engine.errors import EngineError
 
-    with Database() as db:
+    with Database(default_dop=args.dop) as db:
         db.execute("SET STATISTICS TIME ON")
         db.execute("SET STATISTICS IO ON")
         for sql in args.sql or _METRICS_DEMO:
@@ -300,6 +302,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 "sys_dm_exec_query_stats",
                 "sys_dm_db_index_stats",
                 "sys_dm_io_stats",
+                "sys_dm_os_workers",
             ):
                 _print_view(db, view_name)
     return 0
@@ -540,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="import rows directly instead of via FILESTREAM + TVF",
     )
+    pipe.add_argument(
+        "--dop",
+        type=int,
+        default=4,
+        help="default degree of parallelism for warehouse queries",
+    )
     pipe.set_defaults(func=cmd_pipeline)
 
     storage = sub.add_parser(
@@ -577,6 +586,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "--limit", type=int, default=10, help="result rows shown per query"
+    )
+    metrics.add_argument(
+        "--dop",
+        type=int,
+        default=4,
+        help="default degree of parallelism (SET MAX_DOP caps it "
+        "per session; parallel plans run on the worker pool and show "
+        "up in sys_dm_os_workers)",
     )
     metrics.set_defaults(func=cmd_metrics)
 

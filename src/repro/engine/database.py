@@ -82,6 +82,12 @@ class Database:
     default_dop:
         Degree of parallelism the planner assumes when a query carries no
         ``OPTION (MAXDOP n)`` hint. The paper's testbed had 4 cores.
+
+    Parallel plans execute on a per-database
+    :class:`~repro.engine.workers.WorkerPool` of OS processes, spawned
+    lazily on the first offloadable exchange and reused across queries.
+    ``SET MAX_DOP n`` caps the session's effective DOP (hints included);
+    ``SET MAX_DOP 0`` removes the cap.
     """
 
     def __init__(
@@ -99,6 +105,13 @@ class Database:
         self.filestream = FileStreamStore(self.data_dir / "filestream")
         self.catalog = Catalog(filestream_store=self.filestream)
         self.default_dop = default_dop
+        #: session cap on the degree of parallelism (SET MAX_DOP n);
+        #: None = no cap
+        self.max_dop: Optional[int] = None
+        #: lazily created process pool for parallel exchanges
+        self._worker_pool = None
+        #: DOP of the most recently planned statement (for query stats)
+        self._last_plan_dop = 1
         #: execution-mode knob: "auto" lets the planner pick batch mode
         #: per operator, "row" forces the row-at-a-time interpreter
         self.execution_mode = "auto"
@@ -119,9 +132,32 @@ class Database:
         self._register_builtin_overrides()
 
     def close(self) -> None:
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None
+
+    # -- parallel worker pool -------------------------------------------------------------
+
+    @property
+    def worker_pool(self):
+        """The database's process pool (created on first access; worker
+        processes themselves spawn lazily on the first offloaded task)."""
+        if self._worker_pool is None:
+            from .workers import WorkerPool
+
+            self._worker_pool = WorkerPool(
+                max_workers=max(self.default_dop, 8)
+            )
+        return self._worker_pool
+
+    def worker_pool_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows for ``sys_dm_os_workers`` (empty until workers spawn)."""
+        if self._worker_pool is None:
+            return []
+        return self._worker_pool.stats_rows()
 
     def __enter__(self) -> "Database":
         return self
@@ -228,7 +264,7 @@ class Database:
         """Execute one statement, recording wall-clock time and the IO
         it caused into the metrics registry (and, when the session knobs
         are on, into :attr:`messages`)."""
-        if isinstance(stmt, ast.SetStatisticsStmt):
+        if isinstance(stmt, (ast.SetStatisticsStmt, ast.SetOptionStmt)):
             return self._execute_statement(stmt)
         per_table_before = (
             {t.schema.name: t.io_report() for t in self.catalog.tables()}
@@ -248,7 +284,9 @@ class Database:
             rows = 0
         sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
         kind = type(stmt).__name__.removesuffix("Stmt").upper()
-        self.metrics.record_statement(sql_text, kind, elapsed, rows, io_delta)
+        self.metrics.record_statement(
+            sql_text, kind, elapsed, rows, io_delta, dop=self._last_plan_dop
+        )
         if per_table_before is not None:
             for table in self.catalog.tables():
                 delta = Counters.delta(
@@ -406,9 +444,19 @@ class Database:
         # schema / session statements must apply for later binding
         self._execute_statement(stmt)
 
+    @staticmethod
+    def _plan_dop(op) -> int:
+        """Highest exchange-operator DOP in a plan tree (1 = serial)."""
+        dop = getattr(op, "dop", 1) if getattr(op, "stats", None) else 1
+        for child in op.children():
+            dop = max(dop, Database._plan_dop(child))
+        return dop
+
     def _execute_statement(self, stmt) -> Any:
+        self._last_plan_dop = 1
         if isinstance(stmt, ast.SelectStmt):
             op = self._planner.plan_select(stmt)
+            self._last_plan_dop = self._plan_dop(op)
             columns = [c.rsplit(".", 1)[-1] for c in op.columns]
             return MaterializedResult(columns, collect_rows(op))
         if isinstance(stmt, ast.ExplainStmt):
@@ -423,6 +471,13 @@ class Database:
                 self.statistics_time = stmt.enabled
             else:
                 self.statistics_io = stmt.enabled
+            return 0
+        if isinstance(stmt, ast.SetOptionStmt):
+            if stmt.option == "MAX_DOP":
+                if stmt.value < 0:
+                    raise EngineError("SET MAX_DOP expects n >= 0")
+                # SQL Server semantics: 0 means "let the server decide"
+                self.max_dop = stmt.value or None
             return 0
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt)

@@ -21,6 +21,11 @@ from .operators import (
     TableScan,
     Top,
 )
+from .exchange import (
+    rebuild_shippable_specs,
+    rows_offload_blocker,
+    scan_offload_blocker,
+)
 from .parallel import (
     ParallelHashAggregate,
     ParallelMergeUda,
@@ -67,4 +72,7 @@ __all__ = [
     "batches_from_rows",
     "collect_rows",
     "lpt_makespan",
+    "rebuild_shippable_specs",
+    "rows_offload_blocker",
+    "scan_offload_blocker",
 ]

@@ -21,6 +21,15 @@ class AggregateState:
     def add(self, row: Sequence[Any]) -> None:
         raise NotImplementedError
 
+    def add_values(self, values: Sequence[Any]) -> None:
+        """Bulk-accumulate pre-extracted argument values, bit-identical
+        to calling :meth:`add` once per value in the same order (sums
+        left-fold from the current total). Built-ins override this with
+        C-level bulk operations; worker processes use it to aggregate a
+        whole group bucket without a per-row interpreter loop. UDAs do
+        not implement it — they see rows, not values."""
+        raise NotImplementedError
+
     def merge(self, other: "AggregateState") -> None:
         raise NotImplementedError
 
@@ -36,6 +45,10 @@ class _CountStar(AggregateState):
 
     def add(self, row):
         self.count += 1
+
+    def add_values(self, values):
+        # values may be the raw bucket rows: only the length matters
+        self.count += len(values)
 
     def merge(self, other):
         self.count += other.count
@@ -55,6 +68,9 @@ class _CountValue(AggregateState):
         if self._fn(row) is not None:
             self.count += 1
 
+    def add_values(self, values):
+        self.count += len(values) - values.count(None)
+
     def merge(self, other):
         self.count += other.count
 
@@ -73,6 +89,10 @@ class _CountDistinct(AggregateState):
         value = self._fn(row)
         if value is not None:
             self.values.add(value)
+
+    def add_values(self, values):
+        self.values.update(values)
+        self.values.discard(None)
 
     def merge(self, other):
         self.values |= other.values
@@ -95,6 +115,15 @@ class _Sum(AggregateState):
             self.total += value
             self.seen = True
 
+    def add_values(self, values):
+        live = [v for v in values if v is not None]
+        if live:
+            # sum() left-folds from the current total: the identical
+            # addition sequence to add()-per-value, so floats match bit
+            # for bit
+            self.total = sum(live, self.total)
+            self.seen = True
+
     def merge(self, other):
         self.total += other.total
         self.seen = self.seen or other.seen
@@ -115,6 +144,14 @@ class _Min(AggregateState):
         if value is not None and (self.best is None or value < self.best):
             self.best = value
 
+    def add_values(self, values):
+        live = [v for v in values if v is not None]
+        if live:
+            # min() keeps the first minimal element, like add()'s strict <
+            value = min(live)
+            if self.best is None or value < self.best:
+                self.best = value
+
     def merge(self, other):
         if other.best is not None and (self.best is None or other.best < self.best):
             self.best = other.best
@@ -134,6 +171,13 @@ class _Max(AggregateState):
         value = self._fn(row)
         if value is not None and (self.best is None or value > self.best):
             self.best = value
+
+    def add_values(self, values):
+        live = [v for v in values if v is not None]
+        if live:
+            value = max(live)
+            if self.best is None or value > self.best:
+                self.best = value
 
     def merge(self, other):
         if other.best is not None and (self.best is None or other.best > self.best):
@@ -156,6 +200,12 @@ class _Avg(AggregateState):
         if value is not None:
             self.total += value
             self.count += 1
+
+    def add_values(self, values):
+        live = [v for v in values if v is not None]
+        if live:
+            self.total = sum(live, self.total)
+            self.count += len(live)
 
     def merge(self, other):
         self.total += other.total

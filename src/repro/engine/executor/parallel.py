@@ -1,43 +1,73 @@
-"""Parallel query execution: the exchange operator and the DOP simulator.
+"""Parallel query execution: the exchange operator family.
 
-SQL Server parallelises a hash aggregate by hash-partitioning rows across
+SQL Server parallelises a hash aggregate by partitioning rows across
 worker threads (Repartition Streams), running a *partial* aggregate per
 worker, and gathering the results (Gather Streams) — the Figure 9 plan of
-the paper. This module reproduces that plan shape.
+the paper. This module reproduces that plan shape over **real OS
+processes**: the database owns a :class:`~repro.engine.workers.WorkerPool`
+and the exchange operator ships partition sub-plans to it.
 
-**Hardware substitution.** The paper's testbed had four cores; this
-reproduction runs on a single-core container, so true thread-level
-speedup is unobservable. The exchange operator therefore executes its
-partitions serially but *measures each phase separately* and reports a
-simulated multi-core wall clock::
+Three execution tiers, tried in order:
 
-    simulated_wall = (scan_time + partition_time) / dop     # parallel scan
-                   + LPT_schedule(per_partition_agg_times)  # parallel work
-                   + gather_time                            # serial gather
+1. **Partitioned scan** — the child is a bare table scan whose storage
+   engine splits itself into disjoint picklable slices (heap page ranges,
+   columnstore segment ranges). Workers decode *and* aggregate their
+   slice; the coordinator merges partial states in range order, which
+   reproduces the serial hash aggregate's first-occurrence group order.
+2. **Repartitioned rows** — the coordinator scans the child, hash-
+   partitions rows on the group key, and ships each partition. A group
+   never spans workers, so merge is concatenation and accumulation order
+   matches serial execution bit for bit (this is the tier float SUM/AVG
+   plans take — see :mod:`.exchange` for the reassociation argument).
+3. **Simulated DOP** — the original single-core fallback: partitions are
+   aggregated serially but each phase is timed and an LPT-scheduled
+   multi-core wall clock is *modelled*::
 
-where ``LPT_schedule`` assigns partition tasks to ``dop`` workers
-longest-processing-time-first and returns the makespan. With one
-partition per worker this is simply the slowest partition. Both the
-measured single-core time and the simulated parallel time are exposed via
-:attr:`ParallelHashAggregate.stats`; benchmarks report the two numbers
-side by side. Hash partitioning on the group key guarantees partial
-groups never span partitions, so the gather phase is a concatenation —
-exactly why SQL Server can parallelise UDAs that declare themselves
-merge-safe.
+       simulated_wall = (scan_time + partition_time) / dop
+                      + LPT_schedule(per_partition_agg_times)
+                      + gather_time
+
+   The fallback engages when no pool is attached, ``dop=1``, the plan is
+   not shippable, or the pool fails (spawn error, pickle error, timeout)
+   — a parallel plan never surfaces a pool failure as a query error, and
+   CI sandboxes with a broken ``multiprocessing`` keep passing.
+
+:class:`ParallelStats` reports **both** clocks: ``simulated_wall`` from
+the model above and ``measured_parallel_wall`` from the real pool run,
+so benchmarks can print modelled and measured speedups side by side.
+``lpt_makespan`` prices the same greedy schedule
+:func:`~repro.engine.workers.lpt_assign` actually uses for task-to-worker
+placement — the simulator's scheduler became the real scheduler.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
+from ..workers import WorkerPool, WorkerPoolError
 from .aggregates import AggregateSpec, make_batch_accumulator
 from .base import PhysicalOperator
+from .exchange import (
+    _offloadable_scan,
+    build_scan_tasks,
+    rebuild_shippable_specs,
+    rows_offload_blocker,
+    scan_offload_blocker,
+)
+from .operators import ColumnStoreScan
 from .vector import batches_from_rows
 
 RowFn = Callable[[Sequence[Any]], Any]
+
+#: ParallelStats.mode values
+MODE_SIMULATED = "simulated"
+MODE_SCAN = "parallel scan"
+MODE_ROWS = "parallel rows"
+MODE_GROUPS = "parallel groups"
 
 
 def lpt_makespan(task_times: Sequence[float], workers: int) -> float:
@@ -63,15 +93,44 @@ class ParallelStats:
     rows_out: int = 0
     #: batches consumed from the child (repartitioning is batch-granular)
     batches_in: int = 0
+    #: which execution tier ran (``MODE_*`` constants)
+    mode: str = MODE_SIMULATED
+    #: why a worker-pool tier was skipped or abandoned ("" when none was)
+    fallback_reason: str = ""
+    #: real wall clock of the whole compute when workers ran (0 otherwise)
+    measured_parallel_wall: float = 0.0
+    #: per-worker ``(worker_id, rows, seconds)`` when workers ran
+    worker_breakdown: List[Tuple[int, int, float]] = field(
+        default_factory=list
+    )
+    #: pickled task payload / result bytes (transport cost, measured)
+    bytes_shipped: int = 0
+    bytes_returned: int = 0
 
     @property
-    def measured_wall(self) -> float:
+    def serial_wall(self) -> float:
+        """Single-core cost: the sum of every phase. In worker tiers the
+        per-task times come from in-worker clocks, so this estimates what
+        one core doing all the work would have paid."""
         return (
             self.scan_time
             + self.partition_time
             + sum(self.partition_agg_times)
             + self.gather_time
         )
+
+    @property
+    def measured_wall(self) -> float:
+        """Deprecated alias of :attr:`serial_wall` (the old name read as
+        a parallel measurement, which it never was — the real one is
+        :attr:`measured_parallel_wall`)."""
+        warnings.warn(
+            "ParallelStats.measured_wall is deprecated; use serial_wall "
+            "(or measured_parallel_wall for the real worker wall clock)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.serial_wall
 
     @property
     def simulated_wall(self) -> float:
@@ -84,15 +143,31 @@ class ParallelStats:
     @property
     def simulated_speedup(self) -> float:
         simulated = self.simulated_wall
-        return self.measured_wall / simulated if simulated > 0 else 1.0
+        serial = self.serial_wall
+        if simulated <= 0 or serial <= 0:
+            return 1.0
+        return serial / simulated
+
+    @property
+    def measured_speedup(self) -> float:
+        """Real speedup: serial cost over the measured parallel wall
+        clock. 1.0 until a worker tier has actually run."""
+        measured = self.measured_parallel_wall
+        serial = self.serial_wall
+        if measured <= 0 or serial <= 0:
+            return 1.0
+        return serial / measured
 
 
 class ParallelHashAggregate(PhysicalOperator):
     """Repartition Streams → per-worker Hash Aggregate → Gather Streams.
 
-    Output is identical to :class:`HashAggregate`; the difference is the
-    partitioned execution and the :class:`ParallelStats` it records.
-    Aggregates must be parallel-safe (mergeable partial states).
+    Output is identical to :class:`HashAggregate` — including group
+    order — whichever tier executes; the difference is the partitioned
+    execution and the :class:`ParallelStats` it records. Aggregates must
+    be parallel-safe (mergeable partial states). Pass the database's
+    ``pool`` to enable real worker-process execution; without one the
+    operator runs the simulated tier (how unit tests drive it).
     """
 
     blocking = True
@@ -107,6 +182,7 @@ class ParallelHashAggregate(PhysicalOperator):
         agg_names: Sequence[str],
         dop: int = 4,
         group_indexes: Optional[Sequence[int]] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         super().__init__()
         if dop < 1:
@@ -122,6 +198,7 @@ class ParallelHashAggregate(PhysicalOperator):
         self.columns = list(group_names) + list(agg_names)
         self.dop = dop
         self.group_indexes = tuple(group_indexes) if group_indexes else None
+        self.pool = pool
         self.stats = ParallelStats(dop=dop)
 
     @property
@@ -137,8 +214,47 @@ class ParallelHashAggregate(PhysicalOperator):
     def execute_batch(self):
         yield from batches_from_rows(self._compute())
 
+    # -- tier dispatch -----------------------------------------------------------
+
     def _compute(self) -> List:
         stats = self.stats = ParallelStats(dop=self.dop)
+        if self.dop > 1 and self.pool is not None:
+            if not self.pool.available():
+                stats.fallback_reason = (
+                    self.pool.disabled_reason or "worker pool unavailable"
+                )
+            else:
+                ship = rebuild_shippable_specs(self.aggregates)
+                if ship is None:
+                    stats.fallback_reason = (
+                        "aggregate arguments are compiled expressions "
+                        "(descriptors cannot ship to workers)"
+                    )
+                else:
+                    scan_blocker = scan_offload_blocker(
+                        self.child, self.aggregates, self.group_indexes
+                    )
+                    try:
+                        if scan_blocker is None:
+                            result = self._compute_offload_scan(stats, ship)
+                            if result is not None:
+                                return result
+                            stats.fallback_reason = (
+                                "table declined to partition"
+                            )
+                        rows_blocker = rows_offload_blocker(
+                            self.aggregates, self.group_indexes
+                        )
+                        if rows_blocker is None:
+                            return self._compute_offload_rows(stats, ship)
+                        stats.fallback_reason = rows_blocker
+                    except WorkerPoolError as exc:
+                        stats = self.stats = ParallelStats(dop=self.dop)
+                        stats.fallback_reason = str(exc)
+        return self._compute_simulated(stats)
+
+    def _group_key_specs(self):
+        """(single, simple_index, key_fn) — the three key-path flavours."""
         group_fns = self.group_fns
         single = len(group_fns) == 1
         simple_index = (
@@ -147,6 +263,193 @@ class ParallelHashAggregate(PhysicalOperator):
             else None
         )
         key_fn = group_fns[0] if single else None
+        return single, simple_index, key_fn
+
+    def _record_run(self, stats: ParallelStats, results) -> None:
+        """Fold one pool run's accounting into the stats block."""
+        run = self.pool.last_run
+        if run is not None:
+            stats.bytes_shipped += run.bytes_sent
+            stats.bytes_returned += run.bytes_received
+        per_worker: Dict[int, List[float]] = {}
+        for result in results:
+            acc = per_worker.setdefault(result.worker_id, [0, 0.0])
+            acc[0] += result.rows
+            acc[1] += result.elapsed
+        stats.worker_breakdown = [
+            (worker_id, int(rows), seconds)
+            for worker_id, (rows, seconds) in sorted(per_worker.items())
+        ]
+
+    # -- tier 1: partitioned scan -------------------------------------------------
+
+    def _compute_offload_scan(
+        self, stats: ParallelStats, ship: List[AggregateSpec]
+    ) -> Optional[List]:
+        """Range-partition the child scan's storage across workers; None
+        when the store declines (nothing stored, engine opt-out)."""
+        wall_start = time.perf_counter()
+        start = wall_start
+        built = build_scan_tasks(
+            self.child, ship, self.group_indexes, self.dop
+        )
+        if built is None:
+            return None
+        tasks, weights = built
+        stats.scan_time = time.perf_counter() - start
+        stats.mode = MODE_SCAN
+        if not tasks:
+            # empty table: nothing to ship, nothing to aggregate
+            stats.rows_out = 0
+            stats.measured_parallel_wall = time.perf_counter() - wall_start
+            self._bump_child_counters(0)
+            return []
+        results = self.pool.run(tasks, weights, workers=self.dop)
+        stats.partition_agg_times = [r.elapsed for r in results]
+        stats.batches_in = len(tasks)
+        self._record_run(stats, results)
+
+        # gather: merge partial states partition-by-partition *in range
+        # order* — an insertion-ordered dict then replays the serial
+        # hash aggregate's first-occurrence group order exactly.
+        start = time.perf_counter()
+        merged: Dict[Any, List[Any]] = {}
+        rows_in = 0
+        worker_io: Dict[str, int] = {}
+        for result in results:
+            value = result.value
+            rows_in += value["rows"]
+            for name, amount in value["io"].items():
+                worker_io[name] = worker_io.get(name, 0) + amount
+            for key, states in value["groups"].items():
+                mine = merged.get(key)
+                if mine is None:
+                    merged[key] = states
+                else:
+                    for state, other in zip(mine, states):
+                        state.merge(other)
+        single = len(self.group_fns) == 1
+        output = []
+        for key, states in merged.items():
+            group_values = (key,) if single else key
+            output.append(
+                group_values + tuple(state.result() for state in states)
+            )
+        stats.gather_time = time.perf_counter() - start
+        stats.rows_in = rows_in
+        stats.rows_out = len(output)
+        stats.measured_parallel_wall = time.perf_counter() - wall_start
+        self._bump_child_counters(rows_in, worker_io)
+        return output
+
+    def _bump_child_counters(
+        self, rows: int, worker_io: Optional[Dict[str, int]] = None
+    ) -> None:
+        """The scan tier never drives the child operator, but EXPLAIN
+        ANALYZE must still report the scan's actual rows exactly once —
+        the workers *did* read them."""
+        child = self.child
+        child.loops += 1
+        child.loop_rows.append(rows)
+        child.rows_out += rows
+        if worker_io and isinstance(child, ColumnStoreScan):
+            child.segments_read += worker_io.get("segments_read", 0)
+            child.segments_skipped += worker_io.get("segments_skipped", 0)
+            store_io = child.table.store.io
+            for name, amount in worker_io.items():
+                store_io.incr(name, amount)
+
+    # -- tier 2: repartitioned rows -----------------------------------------------
+
+    def _compute_offload_rows(
+        self, stats: ParallelStats, ship: List[AggregateSpec]
+    ) -> List:
+        """Coordinator scans and hash-partitions; workers aggregate."""
+        wall_start = time.perf_counter()
+        single, simple_index, key_fn = self._group_key_specs()
+        group_fns = self.group_fns
+        dop = self.dop
+
+        start = wall_start
+        batches = list(self.child.iter_batches())
+        stats.scan_time = time.perf_counter() - start
+        stats.rows_in = sum(len(batch) for batch in batches)
+        stats.batches_in = len(batches)
+
+        # hash-partition, recording global first-occurrence key order so
+        # the gather can emit groups in the serial aggregate's order
+        start = time.perf_counter()
+        partitions: List[List] = [[] for _ in range(dop)]
+        order: Dict[Any, None] = {}
+        setorder = order.setdefault
+        if simple_index is not None:
+            for batch in batches:
+                for row in batch:
+                    key = row[simple_index]
+                    partitions[hash(key) % dop].append(row)
+                    setorder(key)
+        elif single:
+            for batch in batches:
+                for row in batch:
+                    key = key_fn(row)
+                    partitions[hash(key) % dop].append(row)
+                    setorder(key)
+        else:
+            for batch in batches:
+                for row in batch:
+                    key = tuple(fn(row) for fn in group_fns)
+                    partitions[hash(key) % dop].append(row)
+                    setorder(key)
+        stats.partition_time = time.perf_counter() - start
+        del batches
+
+        group_indexes = self.group_indexes
+        tasks = []
+        weights = []
+        for partition in partitions:
+            if not partition:
+                continue
+            tasks.append(
+                (
+                    "partial_agg",
+                    {
+                        "source": ("rows", {"rows": partition}),
+                        "specs": ship,
+                        "group_indexes": group_indexes,
+                    },
+                )
+            )
+            weights.append(float(len(partition)))
+        del partitions
+
+        merged: Dict[Any, List[Any]] = {}
+        if tasks:
+            results = self.pool.run(tasks, weights, workers=dop)
+            stats.partition_agg_times = [r.elapsed for r in results]
+            self._record_run(stats, results)
+            # hash partitioning keeps keys disjoint across partitions
+            for result in results:
+                merged.update(result.value["groups"])
+        stats.mode = MODE_ROWS
+
+        start = time.perf_counter()
+        output = []
+        for key in order:
+            states = merged[key]
+            group_values = (key,) if single else key
+            output.append(
+                group_values + tuple(state.result() for state in states)
+            )
+        stats.gather_time = time.perf_counter() - start
+        stats.rows_out = len(output)
+        stats.measured_parallel_wall = time.perf_counter() - wall_start
+        return output
+
+    # -- tier 3: simulated DOP ----------------------------------------------------
+
+    def _compute_simulated(self, stats: ParallelStats) -> List:
+        single, simple_index, key_fn = self._group_key_specs()
+        group_fns = self.group_fns
 
         # Phase 1: scan the child batch-at-a-time (parallelisable in the
         # simulation; a row-mode child is bridged into chunks).
@@ -158,31 +461,38 @@ class ParallelHashAggregate(PhysicalOperator):
 
         # Phase 2: hash-partition on the group key (Repartition Streams),
         # one batch at a time so the exchange hands workers whole batches.
+        # Global first-occurrence key order is recorded as partitioning
+        # goes, so the gather emits the serial aggregate's group order.
         start = time.perf_counter()
         partitions: List[List] = [[] for _ in range(self.dop)]
+        order: Dict[Any, None] = {}
+        setorder = order.setdefault
         dop = self.dop
         if simple_index is not None:
             for batch in batches:
                 for row in batch:
-                    partitions[hash(row[simple_index]) % dop].append(row)
+                    key = row[simple_index]
+                    partitions[hash(key) % dop].append(row)
+                    setorder(key)
         elif single:
             for batch in batches:
                 for row in batch:
-                    partitions[hash(key_fn(row)) % dop].append(row)
+                    key = key_fn(row)
+                    partitions[hash(key) % dop].append(row)
+                    setorder(key)
         else:
             for batch in batches:
                 for row in batch:
                     key = tuple(fn(row) for fn in group_fns)
                     partitions[hash(key) % dop].append(row)
+                    setorder(key)
         stats.partition_time = time.perf_counter() - start
         del batches
 
         # Phase 3: per-worker partial aggregation, individually timed.
         # Single-column COUNT(*) uses the batch Counter fast path, as the
         # serial HashAggregate does. In batch mode each partition is
-        # aggregated column-wise through the batch accumulators; group
-        # output order (first occurrence within each partition) matches
-        # the row-mode dict exactly.
+        # aggregated column-wise through the batch accumulators.
         use_counter = simple_index is not None and self._counts_only
         use_batch = (
             not use_counter
@@ -231,47 +541,72 @@ class ParallelHashAggregate(PhysicalOperator):
             partial_results.append(groups)
 
         # Phase 4: gather. Hash partitioning means keys are disjoint
-        # across partitions, so gathering is pure concatenation.
+        # across partitions, so merging is a dict union; emission follows
+        # the recorded global first-occurrence order.
         start = time.perf_counter()
         output = []
         if use_counter:
             width = len(self.aggregates)
-            for counts in partial_results:
-                for key, count in counts.items():
-                    output.append((key,) + (count,) * width)
+            counts: Dict[Any, int] = {}
+            for partial in partial_results:
+                counts.update(partial)
+            for key in order:
+                output.append((key,) + (counts[key],) * width)
         elif use_batch:
+            owners: Dict[Any, Any] = {}
             for seen, accumulators in partial_results:
                 for key in seen:
-                    group_values = (key,) if single else key
-                    output.append(
-                        group_values
-                        + tuple(acc.result(key) for acc in accumulators)
-                    )
+                    owners[key] = accumulators
+            for key in order:
+                accumulators = owners[key]
+                group_values = (key,) if single else key
+                output.append(
+                    group_values
+                    + tuple(acc.result(key) for acc in accumulators)
+                )
         else:
+            merged: Dict[Any, List[Any]] = {}
             for groups in partial_results:
-                for key, states in groups.items():
-                    group_values = (key,) if single else key
-                    output.append(
-                        group_values
-                        + tuple(state.result() for state in states)
-                    )
+                merged.update(groups)
+            for key in order:
+                states = merged[key]
+                group_values = (key,) if single else key
+                output.append(
+                    group_values
+                    + tuple(state.result() for state in states)
+                )
         stats.gather_time = time.perf_counter() - start
         stats.rows_out = len(output)
         return output
+
+    # -- plumbing ----------------------------------------------------------------
 
     def children(self):
         return (self.child,)
 
     def analyze_detail(self):
         stats = self.stats
-        if not stats.partition_agg_times:
+        if not stats.partition_agg_times and not stats.fallback_reason:
             return None
         worker_ms = sum(stats.partition_agg_times) * 1000.0
-        return (
-            f"workers={len(stats.partition_agg_times)}, "
-            f"worker time={worker_ms:.3f}ms, "
-            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms"
-        )
+        parts = [
+            f"workers={len(stats.partition_agg_times)}",
+            f"worker time={worker_ms:.3f}ms",
+            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms",
+        ]
+        if stats.measured_parallel_wall > 0:
+            parts.append(
+                f"measured wall="
+                f"{stats.measured_parallel_wall * 1000.0:.3f}ms"
+            )
+            parts.append(f"mode={stats.mode}")
+            for worker_id, rows, seconds in stats.worker_breakdown:
+                parts.append(
+                    f"w{worker_id}={rows}r/{seconds * 1000.0:.3f}ms"
+                )
+        if stats.fallback_reason:
+            parts.append(f"serial fallback: {stats.fallback_reason}")
+        return ", ".join(parts)
 
     def explain_node(self):
         aggs = ", ".join(spec.describe() for spec in self.aggregates)
@@ -289,8 +624,10 @@ class ParallelMergeUda(PhysicalOperator):
     plan's per-chromosome parallelism).
 
     Input must arrive ordered by (group key, within-group order). Each
-    group is a task; tasks are timed and scheduled over ``dop`` simulated
-    workers. Alignments overlapping partition borders are the reason the
+    group is a task; with a pool and a shippable, parallel-safe UDA the
+    tasks execute on worker processes (LPT-assigned by group size), and
+    otherwise serially with per-task timing for the simulated wall
+    clock. Alignments overlapping partition borders are the reason the
     paper partitions by chromosome — a group never splits.
     """
 
@@ -304,6 +641,7 @@ class ParallelMergeUda(PhysicalOperator):
         spec: AggregateSpec,
         agg_name: str,
         dop: int = 4,
+        pool: Optional[WorkerPool] = None,
     ):
         super().__init__()
         self.child = child
@@ -311,38 +649,81 @@ class ParallelMergeUda(PhysicalOperator):
         self.spec = spec
         self.columns = list(group_names) + [agg_name]
         self.dop = dop
+        self.pool = pool
         self.stats = ParallelStats(dop=dop)
 
     def execute(self):
         stats = self.stats = ParallelStats(dop=self.dop)
         group_fns = self.group_fns
-        current_key = None
-        state = None
-        started = 0.0
-        output = []
+        wall_start = time.perf_counter()
 
-        scan_start = time.perf_counter()
+        # buffer the ordered input into (key, rows) group runs
+        groups: List[Tuple[Tuple[Any, ...], List[Any]]] = []
+        current_key = None
+        current_rows: Optional[List[Any]] = None
         for row in self.child:
             stats.rows_in += 1
             key = tuple(fn(row) for fn in group_fns)
-            if state is None or key != current_key:
-                if state is not None:
-                    output.append(current_key + (state.result(),))
-                    stats.partition_agg_times.append(
-                        time.perf_counter() - started
-                    )
+            if current_rows is None or key != current_key:
                 current_key = key
-                state = self.spec.new_state()
-                started = time.perf_counter()
-            state.add(row)
-        if state is not None:
-            output.append(current_key + (state.result(),))
-            stats.partition_agg_times.append(time.perf_counter() - started)
-        total = time.perf_counter() - scan_start
-        # scan cost = everything not inside a group task
-        stats.scan_time = max(total - sum(stats.partition_agg_times), 0.0)
+                current_rows = []
+                groups.append((key, current_rows))
+            current_rows.append(row)
+        stats.scan_time = time.perf_counter() - wall_start
+
+        output = self._run_groups(stats, groups, wall_start)
         stats.rows_out = len(output)
         return iter(output)
+
+    def _run_groups(self, stats, groups, wall_start):
+        if self.dop > 1 and self.pool is not None and groups:
+            ship = (
+                rebuild_shippable_specs([self.spec])
+                if self.pool.available()
+                else None
+            )
+            if ship is not None:
+                try:
+                    return self._run_groups_offload(
+                        stats, groups, ship[0], wall_start
+                    )
+                except WorkerPoolError as exc:
+                    stats.fallback_reason = str(exc)
+                    stats.partition_agg_times = []
+            else:
+                stats.fallback_reason = (
+                    self.pool.disabled_reason
+                    or "UDA cannot ship to workers"
+                )
+        output = []
+        for key, rows in groups:
+            started = time.perf_counter()
+            state = self.spec.new_state()
+            for row in rows:
+                state.add(row)
+            output.append(key + (state.result(),))
+            stats.partition_agg_times.append(time.perf_counter() - started)
+        return output
+
+    def _run_groups_offload(self, stats, groups, ship_spec, wall_start):
+        tasks = [
+            ("uda_group", {"spec": ship_spec, "rows": rows})
+            for _key, rows in groups
+        ]
+        weights = [float(len(rows)) for _key, rows in groups]
+        results = self.pool.run(tasks, weights, workers=self.dop)
+        stats.partition_agg_times = [r.elapsed for r in results]
+        stats.mode = MODE_GROUPS
+        run = self.pool.last_run
+        if run is not None:
+            stats.bytes_shipped += run.bytes_sent
+            stats.bytes_returned += run.bytes_received
+        output = [
+            key + (result.value["result"],)
+            for (key, _rows), result in zip(groups, results)
+        ]
+        stats.measured_parallel_wall = time.perf_counter() - wall_start
+        return output
 
     def children(self):
         return (self.child,)
@@ -351,11 +732,20 @@ class ParallelMergeUda(PhysicalOperator):
         stats = self.stats
         if not stats.partition_agg_times:
             return None
-        return (
-            f"group tasks={len(stats.partition_agg_times)}, "
-            f"task time={sum(stats.partition_agg_times) * 1000.0:.3f}ms, "
-            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms"
-        )
+        parts = [
+            f"group tasks={len(stats.partition_agg_times)}",
+            f"task time={sum(stats.partition_agg_times) * 1000.0:.3f}ms",
+            f"simulated wall={stats.simulated_wall * 1000.0:.3f}ms",
+        ]
+        if stats.measured_parallel_wall > 0:
+            parts.append(
+                f"measured wall="
+                f"{stats.measured_parallel_wall * 1000.0:.3f}ms"
+            )
+            parts.append(f"mode={stats.mode}")
+        if stats.fallback_reason:
+            parts.append(f"serial fallback: {stats.fallback_reason}")
+        return ", ".join(parts)
 
     def explain_node(self):
         return (

@@ -141,9 +141,15 @@ class QueryStats:
     total_batch_reads: int = 0
     total_segments_read: int = 0
     total_segments_skipped: int = 0
+    #: degree of parallelism of the most recent execution's plan (1 when
+    #: the plan had no exchange operator)
+    last_dop: int = 1
 
-    def record(self, elapsed: float, rows: int, io: Dict[str, int]) -> None:
+    def record(
+        self, elapsed: float, rows: int, io: Dict[str, int], dop: int = 1
+    ) -> None:
         self.execution_count += 1
+        self.last_dop = dop
         self.total_elapsed += elapsed
         self.last_elapsed = elapsed
         self.total_rows += rows
@@ -179,6 +185,7 @@ class MetricsRegistry:
         elapsed: float,
         rows: int,
         io: Dict[str, int],
+        dop: int = 1,
     ) -> QueryStats:
         text = normalize_query_text(sql)
         stats = self._queries.get(text)
@@ -189,7 +196,7 @@ class MetricsRegistry:
                 del self._queries[oldest]
             stats = QueryStats(query_text=text, statement_kind=kind)
             self._queries[text] = stats
-        stats.record(elapsed, rows, io)
+        stats.record(elapsed, rows, io, dop=dop)
         return stats
 
     def clear(self) -> None:
@@ -218,6 +225,7 @@ class MetricsRegistry:
                     q.total_batch_reads,
                     q.total_segments_read,
                     q.total_segments_skipped,
+                    q.last_dop,
                 )
             )
         return rows
@@ -318,9 +326,26 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
                 ("total_batch_reads", int_type()),
                 ("total_segments_read", int_type()),
                 ("total_segments_skipped", int_type()),
+                ("last_dop", int_type()),
             ],
         ),
         lambda: db.metrics.query_stats_rows(),
+    )
+
+    os_workers = VirtualTable(
+        _view_schema(
+            "sys_dm_os_workers",
+            [
+                ("worker_id", int_type()),
+                ("pid", int_type()),
+                ("state", varchar_type(16)),
+                ("tasks_completed", int_type()),
+                ("rows_processed", int_type()),
+                ("busy_ms", float_type()),
+                ("last_task_ms", float_type()),
+            ],
+        ),
+        lambda: db.worker_pool_rows(),
     )
 
     def index_stats_rows() -> List[Tuple[Any, ...]]:
@@ -446,4 +471,5 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         "sys_dm_io_stats": io_stats,
         "sys_dm_db_segment_stats": segment_stats,
         "sys_dm_verify_results": verify_results,
+        "sys_dm_os_workers": os_workers,
     }

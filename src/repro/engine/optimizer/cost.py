@@ -14,13 +14,17 @@ collects (:mod:`.statistics`):
   the inner side; with both inputs pre-ordered merge always prices
   cheaper, matching SQL Server's preference for pre-sorted inputs;
 - **aggregation** — the parallel exchange plan pays a fixed startup
-  cost (thread creation + repartition buffers) that serial plans avoid;
-  the crossover where the exchange pays for itself::
+  cost (worker-process spawn + repartition buffers) plus a per-row
+  transport charge (rows and partial states cross a process boundary
+  pickled — measured by the worker pool's byte counters) that serial
+  plans avoid; the crossover where the exchange pays for itself::
 
-      startup / (agg_row * (1 - 1/dop) - repartition_row)
+      startup / (agg_row * (1 - 1/dop) - repartition_row - transport_row)
 
-  which at the defaults (dop=4) lands at 50 000 input rows — the
-  threshold earlier versions hard-coded is now *derived*.
+  which at the defaults (dop=4) lands at ~54 167 input rows — the
+  threshold earlier versions hard-coded is now *derived*, and the
+  constants themselves come from measured pool overheads
+  (``WorkerPool.spawn_seconds``, ``RunStats.bytes_sent``).
 
 Estimates are advisory: a missing statistic degrades to the default
 selectivities in :mod:`.statistics`, never to an error.
@@ -108,6 +112,10 @@ class CostModel:
     stream_agg_row_cost = 1.0
     repartition_row_cost = 0.25
     exchange_startup_cost = 32_500.0
+    # pickling a row (or its partial state) across the worker-process
+    # boundary; calibrated from the pool's measured bytes-per-row and
+    # round-trip times on the bench tables (benchmarks/bench_parallel.py)
+    transport_row_cost = 0.05
     # table functions
     tvf_row_cost = 1.0
     default_tvf_rows = 1000
@@ -329,6 +337,7 @@ class CostModel:
         parallel = (
             self.exchange_startup_cost
             + input_rows * self.repartition_row_cost
+            + input_rows * self.transport_row_cost
             + input_rows * self.agg_row_cost / max(dop, 1)
         )
         return encoded <= parallel
@@ -355,6 +364,7 @@ class CostModel:
         parallel = (
             self.exchange_startup_cost
             + input_rows * self.repartition_row_cost
+            + input_rows * self.transport_row_cost
             + input_rows * self.agg_row_cost / dop
         )
         return parallel < serial
@@ -465,6 +475,7 @@ class CostModel:
             self_cost = (
                 self.exchange_startup_cost
                 + first * self.repartition_row_cost
+                + first * self.transport_row_cost
                 + first * self.agg_row_cost / max(op.dop, 1)
                 + rows * self.output_row_cost
             )

@@ -231,6 +231,45 @@ class Planner:
         if record is not None and diagnostics:
             record(diagnostics)
 
+    def _note_exchange_tier(self, pool, op, specs, group_indexes) -> None:
+        """EXPLAIN note when a parallel plan cannot run the partitioned-
+        scan offload — which execution tier it will use instead, and why
+        (satellite of the real-parallelism work: a serial fallback must
+        never be silent)."""
+        from .executor.exchange import (
+            rebuild_shippable_specs,
+            rows_offload_blocker,
+            scan_offload_blocker,
+        )
+
+        def note(message: str) -> None:
+            if message not in self._notes:
+                self._notes.append(message)
+
+        if pool is None or not pool.available():
+            reason = (
+                pool.disabled_reason if pool is not None else "no pool"
+            )
+            note(f"exchange will simulate DOP — {reason}")
+            return
+        if rebuild_shippable_specs(specs) is None:
+            note(
+                "exchange will simulate DOP — aggregate descriptors "
+                "cannot ship to workers"
+            )
+            return
+        scan_blocker = scan_offload_blocker(op, specs, group_indexes)
+        if scan_blocker is None:
+            return
+        rows_blocker = rows_offload_blocker(specs, group_indexes)
+        if rows_blocker is not None:
+            note(f"exchange will simulate DOP — {rows_blocker}")
+        else:
+            note(
+                "exchange will repartition rows on the coordinator — "
+                f"{scan_blocker}"
+            )
+
     def _warn_serial_forced(self, uda_name: str) -> None:
         from .verify.udx_verifier import Diagnostic
 
@@ -913,6 +952,10 @@ class Planner:
             if node.maxdop is not None
             else self.database.default_dop
         )
+        # SET MAX_DOP n caps the session; hints are clamped, not trusted
+        session_cap = getattr(self.database, "max_dop", None)
+        if session_cap is not None:
+            dop = min(dop, session_cap)
         input_rows = self.cost.annotate(op).est_rows or 1
         group_ndvs = [
             self._column_ndv(op, e) if isinstance(e, ColumnRef) else None
@@ -978,6 +1021,8 @@ class Planner:
             and go_parallel
             and group_fns  # scalar aggregates stay serial; cheap anyway
         ):
+            pool = getattr(self.database, "worker_pool", None)
+            self._note_exchange_tier(pool, op, specs, group_indexes)
             result = ParallelHashAggregate(
                 op,
                 group_fns,
@@ -986,6 +1031,7 @@ class Planner:
                 agg_names,
                 dop=dop,
                 group_indexes=group_indexes,
+                pool=pool,
             )
         elif not group_fns:
             # scalar aggregate: Stream Aggregate emits exactly one row,

@@ -206,3 +206,15 @@ class SetStatisticsStmt:
 
     option: str  # 'TIME' or 'IO'
     enabled: bool
+
+
+@dataclass
+class SetOptionStmt:
+    """``SET MAX_DOP n`` — numeric session execution options.
+
+    ``MAX_DOP`` caps the degree of parallelism the planner may pick for
+    this session (an ``OPTION (MAXDOP n)`` hint is clamped to it too);
+    ``0`` restores the server default (no session cap)."""
+
+    option: str  # 'MAX_DOP'
+    value: int

@@ -177,14 +177,24 @@ class Parser:
             return self._parse_set()
         raise self._error("expected a statement")
 
-    def _parse_set(self) -> ast.SetStatisticsStmt:
+    def _parse_set(self) -> object:
         self._expect_keyword("SET")
-        self._expect_keyword("STATISTICS")
-        option = self._expect_ident().upper()
-        if option not in ("TIME", "IO"):
-            raise self._error("expected TIME or IO after SET STATISTICS")
-        enabled = self._expect_keyword("ON", "OFF").value == "ON"
-        return ast.SetStatisticsStmt(option, enabled)
+        if self._accept_keyword("STATISTICS"):
+            option = self._expect_ident().upper()
+            if option not in ("TIME", "IO"):
+                raise self._error(
+                    "expected TIME or IO after SET STATISTICS"
+                )
+            enabled = self._expect_keyword("ON", "OFF").value == "ON"
+            return ast.SetStatisticsStmt(option, enabled)
+        name = self._expect_ident().upper()
+        if name != "MAX_DOP":
+            raise self._error("expected STATISTICS or MAX_DOP after SET")
+        token = self._peek()
+        if token.type != NUMBER:
+            raise self._error("expected a number after SET MAX_DOP")
+        self._next()
+        return ast.SetOptionStmt("MAX_DOP", int(token.value))
 
     # -- SELECT -----------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ Only counters with shared semantics (``rows_inserted``, ``scans``,
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import BindError
@@ -38,6 +39,9 @@ Rid = Tuple[int, int]
 #: schema.storage values
 STORAGE_HEAP = "heap"
 STORAGE_COLUMN = "column"
+
+#: never-reused store identities for data_cookie()
+_STORE_GENERATION = itertools.count(1)
 
 
 class AccessMethod:
@@ -78,6 +82,38 @@ class AccessMethod:
 
     def scan_batches(self) -> Iterator[list]:
         raise NotImplementedError
+
+    def partition_payloads(self, parts: int):
+        """Split the stored data into up to ``parts`` contiguous,
+        disjoint, *picklable* slices for worker-process scans (the real
+        parallel exchange). Heap files split by page range, column
+        stores by segment range — so each worker reads rows no other
+        worker touches, in physical order.
+
+        Returns a list of payload dicts (``rows`` estimates the live
+        rows per slice, for LPT scheduling), an empty list when nothing
+        is stored, or None when the engine cannot ship slices and the
+        exchange must fall back to coordinator execution."""
+        return None
+
+    def data_cookie(self) -> Tuple[int, int]:
+        """``(identity, version)`` for the store's current row contents.
+
+        The identity is process-unique and never reused; the version
+        moves on every row mutation (engines call
+        :meth:`_bump_data_version` from their write paths). Worker
+        processes key their decoded-slice caches — the worker-side
+        analogue of a warm buffer pool — on this cookie plus the
+        partition coordinates, so a stale entry can never be served."""
+        gen = self.__dict__.get("_store_generation")
+        if gen is None:
+            gen = self.__dict__["_store_generation"] = next(_STORE_GENERATION)
+        return (gen, self.__dict__.get("_data_version", 0))
+
+    def _bump_data_version(self) -> None:
+        self.__dict__["_data_version"] = (
+            self.__dict__.get("_data_version", 0) + 1
+        )
 
     # -- accounting / stats hooks ---------------------------------------------
 

@@ -481,6 +481,7 @@ class ColumnStore(AccessMethod):
         size = len(self.serializer.serialize(row))
         rid = (len(self.segments), len(self.tail))
         self.tail.append(row)
+        self._bump_data_version()
         self._tail_bytes += size
         self.stats.on_insert(size, size)
         self.io.incr("rows_inserted")
@@ -539,6 +540,7 @@ class ColumnStore(AccessMethod):
             self.tail_deleted.add(offset)
         else:
             self.segments[segment_index].deleted.add(offset)
+        self._bump_data_version()
         # tombstones do not reclaim encoded space (only a rebuild would),
         # so only the row count and uncompressed accounting move
         size = len(self.serializer.serialize(row))
@@ -589,6 +591,61 @@ class ColumnStore(AccessMethod):
             return list(self.tail)
         deleted = self.tail_deleted
         return [r for i, r in enumerate(self.tail) if i not in deleted]
+
+    def partition_payloads(self, parts: int):
+        """Segment-range partitions for worker-process scans.
+
+        Sealed segments ship still-encoded (the worker runs zone-map
+        pruning, encoded selection, and late materialization on its own
+        range); the delta-store tail rides with the last partition so
+        concatenating partitions in order reproduces ``scan()``'s row
+        order. Decode caches never ship — transport pays for encoded
+        bytes only."""
+        segments = self.segments
+        tail = self.tail_rows()
+        live = [segment.live_rows for segment in segments]
+        total = sum(live) + len(tail)
+        if total == 0:
+            return []
+        units = len(segments) + (1 if tail else 0)
+        parts = max(min(parts, units), 1)
+        io = self.io
+        io.incr("scans")
+        cookie = self.data_cookie()
+        payloads = []
+        index = 0
+        remaining = total
+        for slices_left in range(parts, 0, -1):
+            goal = remaining / slices_left
+            shipped = []
+            count = 0
+            while index < len(segments) and (count < goal or not shipped):
+                segment = segments[index]
+                shipped.append(
+                    (
+                        segment.columns,
+                        segment.rows,
+                        tuple(segment.deleted),
+                    )
+                )
+                count += live[index]
+                io.incr("segments_shipped")
+                index += 1
+            payload = {
+                "segments": shipped,
+                "rows": count,
+                "cache_key": cookie + (parts, len(payloads)),
+            }
+            if slices_left == 1 and tail:
+                payload["tail"] = tail
+                payload["rows"] += len(tail)
+                count += len(tail)
+            remaining -= count
+            if payload["segments"] or payload.get("tail"):
+                payloads.append(payload)
+            if index >= len(segments) and not (slices_left > 1 and tail):
+                break
+        return payloads
 
     def scan(self) -> Iterator[Tuple[Rid, Tuple[Any, ...]]]:
         self.io.incr("scans")

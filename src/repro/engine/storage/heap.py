@@ -86,6 +86,7 @@ class HeapFile(AccessMethod):
         )
         page = self._tail_page(record)
         slot = page.append(record)
+        self._bump_data_version()
         self.stats.on_insert(len(record), uncompressed)
         self.io.incr("rows_inserted")
         self.io.incr("bytes_written", len(record))
@@ -104,6 +105,7 @@ class HeapFile(AccessMethod):
         row = self.fetch(rid)
         page_no, slot = rid
         freed = self.pages[page_no].delete(slot)
+        self._bump_data_version()
         record_len = freed - 2  # minus the slot entry
         uncompressed = (
             record_len
@@ -171,6 +173,60 @@ class HeapFile(AccessMethod):
             if batch:
                 io.incr("batch_reads")
                 yield batch
+
+    def partition_payloads(self, parts: int):
+        """Page-range partitions for worker-process scans.
+
+        Each payload carries raw record bytes (plus the page compressor
+        where PAGE compression engaged), the schema, and the serializer
+        configuration — the worker pays the decode, so partitioned scans
+        parallelise decoding too, not just aggregation. Ranges are
+        contiguous page runs balanced by live-row count; concatenating
+        them in order reproduces ``scan()``'s physical row order."""
+        pages = self.pages
+        live = [page.live_count for page in pages]
+        total = sum(live)
+        if total == 0:
+            return []
+        parts = max(min(parts, len(pages)), 1)
+        io = self.io
+        io.incr("scans")
+        cookie = self.data_cookie()
+        payloads = []
+        index = 0
+        remaining = total
+        for slices_left in range(parts, 0, -1):
+            goal = remaining / slices_left
+            shipped = []
+            count = 0
+            while index < len(pages) and (count < goal or not shipped):
+                page = pages[index]
+                shipped.append(
+                    (
+                        page.records,
+                        page.tombstones,
+                        page.compressor,
+                        page._ncols,
+                    )
+                )
+                count += live[index]
+                io.incr("pages_read")
+                io.incr("pages_shipped")
+                index += 1
+            remaining -= count
+            if shipped:
+                payloads.append(
+                    {
+                        "schema": self.schema,
+                        "row_compression": self.serializer.row_compression,
+                        "pages": shipped,
+                        "rows": count,
+                        "cache_key": cookie + (parts, len(payloads)),
+                    }
+                )
+            if index >= len(pages):
+                break
+        return payloads
 
     # -- accounting -----------------------------------------------------------------
 

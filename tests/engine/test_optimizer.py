@@ -312,10 +312,12 @@ class TestSelectivityRegression:
 class TestCostBasedDecisions:
     def test_parallel_crossover_is_derived_from_cost_constants(self):
         cost = CostModel()
-        # the old hard-coded 50k threshold now falls out of the constants:
-        # startup / (agg_row * (1 - 1/dop) - repartition_row)
-        assert not cost.parallel_agg_wins(50_000, dop=4)
-        assert cost.parallel_agg_wins(50_001, dop=4)
+        # the crossover falls out of the constants (per-row transport of
+        # pickled rows across the worker-process boundary included):
+        # startup / (agg_row * (1 - 1/dop) - repartition_row - transport_row)
+        # = 32500 / (1.2 * 0.75 - 0.25 - 0.05) = 54166.67
+        assert not cost.parallel_agg_wins(54_166, dop=4)
+        assert cost.parallel_agg_wins(54_167, dop=4)
         assert not cost.parallel_agg_wins(10**9, dop=1)
 
     def test_lower_startup_cost_moves_the_crossover(self, db):

@@ -70,12 +70,42 @@ class TestParallelHashAggregate:
         assert stats.rows_in == 500
         assert stats.rows_out == len(result) == 7
         assert len(stats.partition_agg_times) == 4
-        assert stats.measured_wall > 0
+        assert stats.serial_wall > 0
         assert stats.simulated_wall > 0
 
     def test_simulation_never_slower_than_measured(self):
         op, _ = self.run_plan(ParallelHashAggregate, dop=4)
-        assert op.stats.simulated_wall <= op.stats.measured_wall * 1.001
+        assert op.stats.simulated_wall <= op.stats.serial_wall * 1.001
+
+    def test_measured_wall_is_deprecated_alias_of_serial_wall(self):
+        op, _ = self.run_plan(ParallelHashAggregate, dop=4)
+        with pytest.deprecated_call():
+            assert op.stats.measured_wall == op.stats.serial_wall
+
+    def test_speedups_guard_zero_walls(self):
+        from repro.engine.executor import ParallelStats
+
+        stats = ParallelStats(dop=4)
+        assert stats.simulated_speedup == 1.0
+        assert stats.measured_speedup == 1.0
+
+    def test_group_order_matches_serial_first_occurrence(self):
+        serial_op = HashAggregate(
+            rows_op(["g", "v"], self.DATA),
+            [c(0)],
+            ["g"],
+            [AggregateSpec("count", [], star=True)],
+            ["n"],
+        )
+        parallel_op = ParallelHashAggregate(
+            rows_op(["g", "v"], self.DATA),
+            [c(0)],
+            ["g"],
+            [AggregateSpec("count", [], star=True)],
+            ["n"],
+            dop=4,
+        )
+        assert list(parallel_op) == list(serial_op)
 
     def test_dop_one_equals_serial_semantics(self):
         op, parallel = self.run_plan(ParallelHashAggregate, dop=1)
@@ -179,7 +209,7 @@ class TestExplainAnalyzeParallel:
         # simulated per-worker times live in analyze_detail, and their sum
         # must not leak into the node's own clock
         worker_total = sum(op.stats.partition_agg_times)
-        assert op.elapsed <= op.stats.measured_wall * 1.5 + 0.05
+        assert op.elapsed <= op.stats.serial_wall * 1.5 + 0.05
         assert "worker time=" in (op.analyze_detail() or "")
         assert worker_total >= max(op.stats.partition_agg_times)
 
@@ -202,6 +232,168 @@ class TestExplainAnalyzeParallel:
         assert "actual rows=60" in text  # the scan, counted exactly once
         assert "time=" in text
         assert "workers=" in text
+
+
+class TestRealWorkerExecution:
+    """Exchange tiers that actually cross a process boundary."""
+
+    @pytest.fixture
+    def db(self):
+        from repro.engine import Database
+
+        with Database() as database:
+            database.execute("CREATE TABLE s (g VARCHAR(5), v INT, f FLOAT)")
+            database.execute(
+                "INSERT INTO s VALUES "
+                + ", ".join(
+                    f"('g{i % 7}', {i}, {i}.25)" for i in range(2000)
+                )
+            )
+            yield database
+
+    def _exchange_node(self, op):
+        if isinstance(op, ParallelHashAggregate):
+            return op
+        for child in op.children():
+            found = self._exchange_node(child)
+            if found is not None:
+                return found
+        return None
+
+    def _run(self, db, sql):
+        from repro.engine.executor import collect_rows
+
+        plan = db.plan(sql)
+        rows = collect_rows(plan)
+        return rows, self._exchange_node(plan)
+
+    def test_integer_aggregate_offloads_the_scan(self, db):
+        rows, node = self._run(
+            db,
+            "SELECT g, SUM(v), COUNT(*) FROM s "
+            "GROUP BY g OPTION (MAXDOP 4)",
+        )
+        assert node is not None
+        assert node.stats.mode == "parallel scan"
+        assert node.stats.measured_parallel_wall > 0
+        assert node.stats.bytes_shipped > 0
+        assert node.stats.bytes_returned > 0
+        assert node.stats.worker_breakdown
+        serial = db.execute(
+            "SELECT g, SUM(v), COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 1)"
+        )
+        assert list(rows) == list(serial.rows)
+
+    def test_float_sum_takes_the_row_shipping_tier(self, db):
+        rows, node = self._run(
+            db, "SELECT g, SUM(f) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert node.stats.mode == "parallel rows"
+        serial = db.execute(
+            "SELECT g, SUM(f) FROM s GROUP BY g OPTION (MAXDOP 1)"
+        )
+        # bit-identical: hash partitioning keeps each group's floats on
+        # one worker in serial accumulation order
+        assert list(rows) == list(serial.rows)
+
+    def test_scan_offload_counts_child_rows_once(self, db):
+        from repro.engine.executor import collect_rows
+
+        plan = db.plan(
+            "SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        collect_rows(plan)
+        node = self._exchange_node(plan)
+        assert node.stats.mode == "parallel scan"
+        (child,) = node.children()
+        assert child.rows_out == 2000
+        assert child.loops == 1
+
+    def test_env_kill_switch_forces_simulated(self, db, monkeypatch):
+        from repro.engine.workers import DISABLE_ENV
+
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        rows, node = self._run(
+            db, "SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert node.stats.mode == "simulated"
+        assert DISABLE_ENV in node.stats.fallback_reason
+        serial = db.execute(
+            "SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 1)"
+        )
+        assert list(rows) == list(serial.rows)
+
+    def test_disabled_pool_noted_in_explain(self, db, monkeypatch):
+        from repro.engine.workers import DISABLE_ENV
+
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        text = db.explain(
+            "EXPLAIN SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert "note: exchange will simulate DOP" in text
+
+    def test_analyze_shows_measured_wall_and_mode(self, db):
+        text = db.explain(
+            "EXPLAIN ANALYZE SELECT g, SUM(v) FROM s "
+            "GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert "measured wall=" in text
+        assert "mode=parallel scan" in text
+        assert "w0=" in text
+
+    def test_set_max_dop_caps_hints(self, db):
+        db.execute("SET MAX_DOP 1")
+        plan = db.plan(
+            "SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert self._exchange_node(plan) is None
+        db.execute("SET MAX_DOP 0")
+        plan = db.plan(
+            "SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 4)"
+        )
+        assert self._exchange_node(plan) is not None
+
+    def test_workers_dmv_populates_after_parallel_query(self, db):
+        db.execute("SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 2)")
+        rows = db.query(
+            "SELECT worker_id, state, tasks_completed FROM sys_dm_os_workers"
+        )
+        assert rows
+        assert all(state == "running" for _w, state, _t in rows)
+        assert sum(tasks for _w, _s, tasks in rows) > 0
+
+    def test_query_stats_record_last_dop(self, db):
+        db.execute("SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 3)")
+        rows = db.query(
+            "SELECT query_text, last_dop FROM sys_dm_exec_query_stats"
+        )
+        by_text = dict(rows)
+        assert by_text["SELECT g, COUNT(*) FROM s GROUP BY g OPTION (MAXDOP 3)"] == 3
+
+    def test_columnstore_scan_offloads_with_predicates(self):
+        from repro.engine import Database
+
+        with Database() as database:
+            database.execute(
+                "CREATE TABLE cs (g VARCHAR(5), v INT) "
+                "WITH (STORAGE = COLUMN)"
+            )
+            database.execute(
+                "INSERT INTO cs VALUES "
+                + ", ".join(f"('g{i % 3}', {i})" for i in range(1200))
+            )
+            plan = database.plan(
+                "SELECT g, SUM(v) FROM cs WHERE v >= 600 "
+                "GROUP BY g OPTION (MAXDOP 4)"
+            )
+            from repro.engine.executor import collect_rows
+
+            rows = collect_rows(plan)
+            serial = database.execute(
+                "SELECT g, SUM(v) FROM cs WHERE v >= 600 "
+                "GROUP BY g OPTION (MAXDOP 1)"
+            )
+            assert list(rows) == list(serial.rows)
 
 
 class ConcatUda(UserDefinedAggregate):

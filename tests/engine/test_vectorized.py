@@ -141,6 +141,33 @@ class TestDifferential:
             assert db.query(sql), f"empty result defeats the test: {sql}"
 
 
+# aggregate queries re-run under every DOP: parallel plans must be
+# byte-identical to the forced-serial plan, including group order after
+# the coordinator merge, on both storage engines and in both modes
+PARALLEL_DIFFERENTIAL_QUERIES = [
+    "SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region",
+    "SELECT region, COUNT(*), SUM(amount) FROM sales "
+    "WHERE amount > 10 GROUP BY region",
+    # float accumulation: the rows tier must not reassociate sums
+    "SELECT region, AVG(price), SUM(price) FROM sales GROUP BY region",
+    "SELECT region, product, COUNT(*), MIN(amount), MAX(amount) "
+    "FROM sales GROUP BY region, product",
+    "SELECT region, COUNT(DISTINCT product) FROM sales GROUP BY region",
+]
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("dop", [1, 2, 4])
+    @pytest.mark.parametrize("sql", PARALLEL_DIFFERENTIAL_QUERIES)
+    def test_parallel_identical_to_serial(self, db, sql, dop):
+        serial_row, serial_batch = run_modes(db, sql + " OPTION (MAXDOP 1)")
+        par_row, par_batch = run_modes(db, sql + f" OPTION (MAXDOP {dop})")
+        assert repr(par_row) == repr(serial_row)
+        assert repr(par_batch) == repr(serial_batch)
+        assert repr(par_batch) == repr(par_row)
+        assert serial_row, f"empty result defeats the test: {sql}"
+
+
 class TestBoundaries:
     def test_empty_table(self, db):
         db.execute(
