@@ -15,14 +15,24 @@ engine come from one instrumentation source — a :class:`Phase` *is* a
 :func:`trace_from_parallel_stats` converts an exchange operator's
 measured :class:`~repro.engine.executor.parallel.ParallelStats` into the
 same trace shape, which is how the Figure 8 chart is produced.
+
+Chrome trace-event export goes through the engine's one trace writer
+(:mod:`repro.engine.tracing`), so a simulated baseline timeline and a
+real engine statement trace load side by side in ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.metrics import Span, SpanTimeline
+from repro.engine.tracing import (
+    _process_name_event,
+    timeline_chrome_events,
+    write_chrome_trace,
+)
 
 
 class Phase(Span):
@@ -67,13 +77,20 @@ class ResourceTrace(SpanTimeline):
     def phases(self) -> List[Phase]:
         return self.spans
 
+    @contextmanager
     def record(self, name: str, busy_cores: float = 1.0, detail: str = ""):
         """Context manager timing one phase::
 
             with trace.record("process", busy_cores=1):
                 ...
         """
-        return _PhaseRecorder(self, name, busy_cores, detail)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_phase(
+                name, start, time.perf_counter(), busy_cores, detail
+            )
 
     def add_phase(
         self,
@@ -94,10 +111,6 @@ class ResourceTrace(SpanTimeline):
                 detail,
             )
         )
-
-    @property
-    def total_time(self) -> float:
-        return self.spans[-1].end if self.spans else 0.0
 
     def mean_utilization(self) -> float:
         total = self.total_time
@@ -127,28 +140,23 @@ class ResourceTrace(SpanTimeline):
             )
         return "\n".join(lines)
 
+    # -- Chrome trace export (shared writer) ---------------------------------------
 
-class _PhaseRecorder:
-    def __init__(self, trace: ResourceTrace, name: str, busy_cores: float, detail: str):
-        self._trace = trace
-        self._name = name
-        self._busy = busy_cores
-        self._detail = detail
-        self._start = 0.0
+    def chrome_events(self, pid: int = 0) -> List[Dict[str, Any]]:
+        """This trace as Chrome complete events on process ``pid`` (one
+        ``tid`` per trace; spans are already normalised to t=0)."""
+        return timeline_chrome_events(self, pid=pid, tid=0)
 
-    def __enter__(self):
-        self._start = time.perf_counter()
-        return self
+    def to_chrome_payload(self, pid: int = 0) -> Dict[str, Any]:
+        """A self-contained Chrome trace-event JSON object."""
+        return {
+            "traceEvents": [_process_name_event(pid, self.label or "trace")]
+            + self.chrome_events(pid=pid),
+            "displayTimeUnit": "ms",
+        }
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self._trace.add_phase(
-            self._name,
-            self._start,
-            time.perf_counter(),
-            self._busy,
-            self._detail,
-        )
-        return False
+    def write_chrome_trace(self, path: Any, pid: int = 0) -> None:
+        write_chrome_trace(path, self.to_chrome_payload(pid=pid))
 
 
 def trace_from_parallel_stats(label, stats, cores: int = 4) -> ResourceTrace:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the lab loop a downstream user runs:
+Seven subcommands cover the lab loop a downstream user runs:
 
 - ``simulate`` — generate a synthetic reference genome, gene annotation,
   and a level-1 FASTQ lane (DGE or re-sequencing statistics);
@@ -12,6 +12,9 @@ Six subcommands cover the lab loop a downstream user runs:
 - ``search`` — q-gram search for a pattern over a lane's reads;
 - ``metrics`` — run SQL with ``SET STATISTICS TIME/IO ON`` and dump the
   engine's DMV-style system views (or Prometheus exposition text);
+- ``trace`` — run SQL with statement tracing on, print each statement's
+  span tree (planner, operators, cross-process worker phases), and
+  export Chrome trace-event JSON;
 - ``lint`` — statically verify UDx modules (permission sets, contracts)
   and lint ``.sql`` scripts through the plan-time analyzer, exiting
   non-zero when any error-severity finding is reported.
@@ -309,6 +312,58 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+#: workload run by ``trace`` when no --sql is given: a dop-2 parallel
+#: aggregate executed twice (so the query store accumulates runtime
+#: rows) plus an EXPLAIN ANALYZE (so operator spans land in the trace)
+_TRACE_DEMO = (
+    "CREATE TABLE readings (r_id INT PRIMARY KEY, grp INT, amount INT)",
+    "INSERT INTO readings VALUES "
+    + ", ".join(f"({i}, {i % 8}, {i * 3 % 97})" for i in range(1, 513)),
+    "SELECT grp, COUNT(*), SUM(amount), MAX(amount) FROM readings "
+    "GROUP BY grp OPTION (MAXDOP 2)",
+    "SELECT grp, COUNT(*), SUM(amount), MAX(amount) FROM readings "
+    "GROUP BY grp OPTION (MAXDOP 2)",
+    "EXPLAIN ANALYZE SELECT grp, COUNT(*), SUM(amount), MAX(amount) "
+    "FROM readings GROUP BY grp OPTION (MAXDOP 2)",
+)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .engine import Database
+    from .engine.errors import EngineError
+
+    with Database(default_dop=args.dop) as db:
+        for sql in args.sql or _TRACE_DEMO:
+            print(f"> {sql}")
+            try:
+                result = db.execute(sql)
+            except EngineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if isinstance(result, str):  # EXPLAIN plan text
+                print(result)
+            trace = db.last_trace()
+            if trace is not None:
+                print(trace.render())
+                print()
+        if args.out:
+            # export before the DMV dumps below add their own traces
+            db.write_trace(args.out, last_only=args.last_only)
+            print(f"wrote Chrome trace JSON to {args.out}")
+            print()
+        for view_name in (
+            "sys_dm_os_wait_stats",
+            "sys_dm_query_store_query",
+            "sys_dm_query_store_runtime_stats",
+        ):
+            _print_view(db, view_name)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # lint
 # ---------------------------------------------------------------------------
 
@@ -596,6 +651,35 @@ def build_parser() -> argparse.ArgumentParser:
         "up in sys_dm_os_workers)",
     )
     metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run SQL with tracing and print/export the statement "
+        "trace trees (Chrome trace-event JSON via --out)",
+    )
+    trace.add_argument(
+        "--sql",
+        action="append",
+        help="statement to run (repeatable; default: a dop-2 parallel "
+        "aggregate demo workload)",
+    )
+    trace.add_argument(
+        "--out",
+        help="write retained traces as Chrome trace-event JSON "
+        "(chrome://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "--last-only",
+        action="store_true",
+        help="export only the final statement's trace",
+    )
+    trace.add_argument(
+        "--dop",
+        type=int,
+        default=4,
+        help="default degree of parallelism",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     lint = sub.add_parser(
         "lint",

@@ -28,6 +28,15 @@ from .expressions import ColumnRef, ExpressionCompiler
 from .filestream import FileStreamStore
 from .metrics import Counters, MetricsRegistry, make_system_views
 from .planner import Planner, make_binder
+from .querystore import QueryStore
+from .tracing import (
+    StatementTrace,
+    Tracer,
+    chrome_trace_payload,
+    current_trace,
+    record_operator_spans,
+    write_chrome_trace,
+)
 from .schema import Column, ForeignKey, TableSchema
 from .sql import ast
 from .sql.parser import parse_sql
@@ -120,6 +129,25 @@ class Database:
         self._procedures = None
         #: per-query execution stats, queryable via the sys_dm_* views
         self.metrics = MetricsRegistry()
+        #: per-statement trace recording + engine-lifetime wait stats
+        self.tracer = Tracer()
+        #: the persistent query store (normalised queries, interned
+        #: plans, per-interval runtime stats); reloaded from
+        #: ``querystore.json`` when the data directory already has one
+        self.query_store = QueryStore()
+        self._querystore_path = self.data_dir / "querystore.json"
+        if self._querystore_path.exists():
+            try:
+                self.query_store.load(self._querystore_path)
+            except Exception:  # noqa: BLE001 - corrupt store: start fresh
+                self.query_store = QueryStore()
+        #: SET SLOW_QUERY_THRESHOLD ms (None = logging off)
+        self.slow_query_threshold_ms: Optional[float] = None
+        #: retained slow-query log entries (sys_dm_exec_slow_queries)
+        self._slow_queries: List[Tuple[Any, ...]] = []
+        #: the physical plan of the most recent SELECT/EXPLAIN ANALYZE
+        #: (what the query store interns)
+        self._last_select_plan: Optional[PhysicalOperator] = None
         #: SET STATISTICS TIME/IO session knobs
         self.statistics_time = False
         self.statistics_io = False
@@ -135,6 +163,13 @@ class Database:
         if self._worker_pool is not None:
             self._worker_pool.close()
             self._worker_pool = None
+        # persist the query store beside the FILESTREAM filegroup so
+        # history survives a restart (skipped for throwaway temp dirs)
+        if self.query_store.dirty and self._tempdir is None:
+            try:
+                self.query_store.save(self._querystore_path)
+            except OSError:
+                pass
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None
@@ -271,9 +306,12 @@ class Database:
             if self.statistics_io
             else None
         )
+        sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
+        kind = type(stmt).__name__.removesuffix("Stmt").upper()
         io_before = self._io_totals()
         start = time.perf_counter()
-        result = self._execute_statement(stmt)
+        with self.tracer.statement(sql_text, kind):
+            result = self._execute_statement(stmt)
         elapsed = time.perf_counter() - start
         io_delta = Counters.delta(self._io_totals(), io_before)
         if isinstance(result, MaterializedResult):
@@ -282,11 +320,37 @@ class Database:
             rows = result
         else:
             rows = 0
-        sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
-        kind = type(stmt).__name__.removesuffix("Stmt").upper()
         self.metrics.record_statement(
             sql_text, kind, elapsed, rows, io_delta, dop=self._last_plan_dop
         )
+        self.query_store.record(
+            sql_text,
+            kind,
+            elapsed,
+            rows,
+            io=io_delta,
+            dop=self._last_plan_dop,
+            plan=self._last_select_plan,
+        )
+        threshold = self.slow_query_threshold_ms
+        if threshold is not None and elapsed * 1000.0 >= threshold:
+            self._slow_queries.append(
+                (
+                    sql_text,
+                    kind,
+                    round(elapsed * 1000.0, 3),
+                    threshold,
+                    rows,
+                    self._last_plan_dop,
+                    time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+                )
+            )
+            if len(self._slow_queries) > self._SLOW_QUERY_LOG_LIMIT:
+                del self._slow_queries[: -self._SLOW_QUERY_LOG_LIMIT]
+            self.messages.append(
+                f"Slow query ({elapsed * 1000.0:.3f} ms >= "
+                f"{threshold:g} ms): {sql_text}"
+            )
         if per_table_before is not None:
             for table in self.catalog.tables():
                 delta = Counters.delta(
@@ -334,9 +398,40 @@ class Database:
         totals.merge(self.filestream.io, prefix="filestream_")
         return totals
 
+    #: retained slow-query log entries (oldest dropped beyond this)
+    _SLOW_QUERY_LOG_LIMIT = 200
+
+    def slow_query_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows for ``sys_dm_exec_slow_queries``."""
+        return list(self._slow_queries)
+
     def metrics_prometheus(self) -> str:
-        """The registry + IO totals as Prometheus exposition text."""
-        return self.metrics.prometheus_text(self._io_totals())
+        """The registry + IO totals as Prometheus exposition text, plus
+        worker-pool and wait-stats gauges."""
+        return self.metrics.prometheus_text(
+            self._io_totals(),
+            workers=self.worker_pool_rows(),
+            waits=self.tracer.wait_stats.rows(),
+        )
+
+    # -- tracing ---------------------------------------------------------------------------
+
+    def last_trace(self) -> Optional[StatementTrace]:
+        """The most recently completed statement trace (None when
+        tracing is disabled or nothing has run)."""
+        return self.tracer.last
+
+    def trace_payload(self, last_only: bool = False) -> dict:
+        """Retained statement traces as a Chrome trace-event JSON object
+        (``chrome://tracing`` / Perfetto)."""
+        traces = self.tracer.traces
+        if last_only and traces:
+            traces = traces[-1:]
+        return chrome_trace_payload(traces)
+
+    def write_trace(self, path: os.PathLike | str, last_only: bool = False) -> None:
+        """Export retained traces as a Chrome trace-event JSON file."""
+        write_chrome_trace(path, self.trace_payload(last_only=last_only))
 
     def query(self, sql: str) -> List[Tuple[Any, ...]]:
         """Execute a single SELECT and return its rows."""
@@ -370,8 +465,16 @@ class Database:
         """EXPLAIN ANALYZE: execute the plan to completion, then render
         it with estimated *and* actual row counts per operator."""
         op = self._planner.plan_select(select)
+        self._last_plan_dop = self._plan_dop(op)
+        self._last_select_plan = op
         op.enable_timing()
         collect_rows(op)
+        trace = current_trace()
+        if trace is not None:
+            # timing armed every operator's span endpoints; graft them
+            # under the statement span structurally (operators are
+            # interleaved generators — a live span stack would mis-nest)
+            record_operator_spans(trace, op)
         return op.explain(analyze=True)
 
     def plan(self, sql: str) -> PhysicalOperator:
@@ -454,9 +557,11 @@ class Database:
 
     def _execute_statement(self, stmt) -> Any:
         self._last_plan_dop = 1
+        self._last_select_plan = None
         if isinstance(stmt, ast.SelectStmt):
             op = self._planner.plan_select(stmt)
             self._last_plan_dop = self._plan_dop(op)
+            self._last_select_plan = op
             columns = [c.rsplit(".", 1)[-1] for c in op.columns]
             return MaterializedResult(columns, collect_rows(op))
         if isinstance(stmt, ast.ExplainStmt):
@@ -478,6 +583,13 @@ class Database:
                     raise EngineError("SET MAX_DOP expects n >= 0")
                 # SQL Server semantics: 0 means "let the server decide"
                 self.max_dop = stmt.value or None
+            elif stmt.option == "SLOW_QUERY_THRESHOLD":
+                if stmt.value < 0:
+                    raise EngineError(
+                        "SET SLOW_QUERY_THRESHOLD expects ms >= 0"
+                    )
+                # 0 logs every statement
+                self.slow_query_threshold_ms = float(stmt.value)
             return 0
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt)

@@ -58,6 +58,13 @@ class PhysicalOperator:
         #: inclusive wall-clock seconds (self + children), all loops
         self.elapsed = 0.0
         self._timing = False
+        #: first-pull / exhaustion perf_counter readings, recorded only
+        #: when timing is armed; :func:`repro.engine.tracing.
+        #: record_operator_spans` grafts these into the statement trace
+        #: structurally after execution (generators interleave, so live
+        #: span stacks would mis-nest)
+        self._span_start: Optional[float] = None
+        self._span_end: Optional[float] = None
         #: "row" or "batch"; the planner flips batch-capable operators
         #: to "batch" per pipeline after physical lowering
         self.execution_mode = "row"
@@ -91,6 +98,8 @@ class PhysicalOperator:
                     yield row
             else:
                 clock = time.perf_counter
+                if self._span_start is None:
+                    self._span_start = clock()
                 while True:
                     t0 = clock()
                     try:
@@ -105,6 +114,8 @@ class PhysicalOperator:
             # flush even when abandoned mid-stream (Top, semi-joins)
             self.rows_out += emitted
             self.loop_rows[loop_index] = emitted
+            if self._timing:
+                self._span_end = time.perf_counter()
 
     def execute(self) -> Iterator[Tuple[Any, ...]]:
         raise NotImplementedError
@@ -145,6 +156,8 @@ class PhysicalOperator:
                     yield batch
             else:
                 clock = time.perf_counter
+                if self._span_start is None:
+                    self._span_start = clock()
                 while True:
                     t0 = clock()
                     try:
@@ -160,6 +173,8 @@ class PhysicalOperator:
             self.rows_out += emitted
             self.loop_rows[loop_index] = emitted
             self.batches_out += batches
+            if self._timing:
+                self._span_end = time.perf_counter()
 
     # -- explain -----------------------------------------------------------------
 

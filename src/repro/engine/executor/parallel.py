@@ -47,6 +47,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import tracing
 from ..errors import ExecutionError
 from ..workers import WorkerPool, WorkerPoolError
 from .aggregates import AggregateSpec, make_batch_accumulator
@@ -290,9 +291,13 @@ class ParallelHashAggregate(PhysicalOperator):
         when the store declines (nothing stored, engine opt-out)."""
         wall_start = time.perf_counter()
         start = wall_start
-        built = build_scan_tasks(
-            self.child, ship, self.group_indexes, self.dop
-        )
+        with tracing.span(
+            "slice storage into partitions", category="exchange",
+            wait_type="IO",
+        ):
+            built = build_scan_tasks(
+                self.child, ship, self.group_indexes, self.dop
+            )
         if built is None:
             return None
         tasks, weights = built
@@ -304,7 +309,11 @@ class ParallelHashAggregate(PhysicalOperator):
             stats.measured_parallel_wall = time.perf_counter() - wall_start
             self._bump_child_counters(0)
             return []
-        results = self.pool.run(tasks, weights, workers=self.dop)
+        with tracing.span(
+            "parallel execute (scan tier)", category="exchange",
+            tasks=len(tasks), dop=self.dop,
+        ):
+            results = self.pool.run(tasks, weights, workers=self.dop)
         stats.partition_agg_times = [r.elapsed for r in results]
         stats.batches_in = len(tasks)
         self._record_run(stats, results)
@@ -313,28 +322,31 @@ class ParallelHashAggregate(PhysicalOperator):
         # order* — an insertion-ordered dict then replays the serial
         # hash aggregate's first-occurrence group order exactly.
         start = time.perf_counter()
-        merged: Dict[Any, List[Any]] = {}
-        rows_in = 0
-        worker_io: Dict[str, int] = {}
-        for result in results:
-            value = result.value
-            rows_in += value["rows"]
-            for name, amount in value["io"].items():
-                worker_io[name] = worker_io.get(name, 0) + amount
-            for key, states in value["groups"].items():
-                mine = merged.get(key)
-                if mine is None:
-                    merged[key] = states
-                else:
-                    for state, other in zip(mine, states):
-                        state.merge(other)
-        single = len(self.group_fns) == 1
-        output = []
-        for key, states in merged.items():
-            group_values = (key,) if single else key
-            output.append(
-                group_values + tuple(state.result() for state in states)
-            )
+        with tracing.span(
+            "gather merge", category="exchange", wait_type="AGG_MERGE"
+        ):
+            merged: Dict[Any, List[Any]] = {}
+            rows_in = 0
+            worker_io: Dict[str, int] = {}
+            for result in results:
+                value = result.value
+                rows_in += value["rows"]
+                for name, amount in value["io"].items():
+                    worker_io[name] = worker_io.get(name, 0) + amount
+                for key, states in value["groups"].items():
+                    mine = merged.get(key)
+                    if mine is None:
+                        merged[key] = states
+                    else:
+                        for state, other in zip(mine, states):
+                            state.merge(other)
+            single = len(self.group_fns) == 1
+            output = []
+            for key, states in merged.items():
+                group_values = (key,) if single else key
+                output.append(
+                    group_values + tuple(state.result() for state in states)
+                )
         stats.gather_time = time.perf_counter() - start
         stats.rows_in = rows_in
         stats.rows_out = len(output)
@@ -371,7 +383,10 @@ class ParallelHashAggregate(PhysicalOperator):
         dop = self.dop
 
         start = wall_start
-        batches = list(self.child.iter_batches())
+        with tracing.span(
+            "scan child", category="exchange", wait_type="IO"
+        ):
+            batches = list(self.child.iter_batches())
         stats.scan_time = time.perf_counter() - start
         stats.rows_in = sum(len(batch) for batch in batches)
         stats.batches_in = len(batches)
@@ -379,27 +394,30 @@ class ParallelHashAggregate(PhysicalOperator):
         # hash-partition, recording global first-occurrence key order so
         # the gather can emit groups in the serial aggregate's order
         start = time.perf_counter()
-        partitions: List[List] = [[] for _ in range(dop)]
-        order: Dict[Any, None] = {}
-        setorder = order.setdefault
-        if simple_index is not None:
-            for batch in batches:
-                for row in batch:
-                    key = row[simple_index]
-                    partitions[hash(key) % dop].append(row)
-                    setorder(key)
-        elif single:
-            for batch in batches:
-                for row in batch:
-                    key = key_fn(row)
-                    partitions[hash(key) % dop].append(row)
-                    setorder(key)
-        else:
-            for batch in batches:
-                for row in batch:
-                    key = tuple(fn(row) for fn in group_fns)
-                    partitions[hash(key) % dop].append(row)
-                    setorder(key)
+        with tracing.span(
+            "hash partition rows", category="exchange", dop=dop
+        ):
+            partitions: List[List] = [[] for _ in range(dop)]
+            order: Dict[Any, None] = {}
+            setorder = order.setdefault
+            if simple_index is not None:
+                for batch in batches:
+                    for row in batch:
+                        key = row[simple_index]
+                        partitions[hash(key) % dop].append(row)
+                        setorder(key)
+            elif single:
+                for batch in batches:
+                    for row in batch:
+                        key = key_fn(row)
+                        partitions[hash(key) % dop].append(row)
+                        setorder(key)
+            else:
+                for batch in batches:
+                    for row in batch:
+                        key = tuple(fn(row) for fn in group_fns)
+                        partitions[hash(key) % dop].append(row)
+                        setorder(key)
         stats.partition_time = time.perf_counter() - start
         del batches
 
@@ -424,7 +442,11 @@ class ParallelHashAggregate(PhysicalOperator):
 
         merged: Dict[Any, List[Any]] = {}
         if tasks:
-            results = self.pool.run(tasks, weights, workers=dop)
+            with tracing.span(
+                "parallel execute (rows tier)", category="exchange",
+                tasks=len(tasks), dop=dop,
+            ):
+                results = self.pool.run(tasks, weights, workers=dop)
             stats.partition_agg_times = [r.elapsed for r in results]
             self._record_run(stats, results)
             # hash partitioning keeps keys disjoint across partitions
@@ -433,13 +455,16 @@ class ParallelHashAggregate(PhysicalOperator):
         stats.mode = MODE_ROWS
 
         start = time.perf_counter()
-        output = []
-        for key in order:
-            states = merged[key]
-            group_values = (key,) if single else key
-            output.append(
-                group_values + tuple(state.result() for state in states)
-            )
+        with tracing.span(
+            "gather merge", category="exchange", wait_type="AGG_MERGE"
+        ):
+            output = []
+            for key in order:
+                states = merged[key]
+                group_values = (key,) if single else key
+                output.append(
+                    group_values + tuple(state.result() for state in states)
+                )
         stats.gather_time = time.perf_counter() - start
         stats.rows_out = len(output)
         stats.measured_parallel_wall = time.perf_counter() - wall_start
@@ -711,7 +736,11 @@ class ParallelMergeUda(PhysicalOperator):
             for _key, rows in groups
         ]
         weights = [float(len(rows)) for _key, rows in groups]
-        results = self.pool.run(tasks, weights, workers=self.dop)
+        with tracing.span(
+            "parallel execute (uda groups)", category="exchange",
+            tasks=len(tasks), dop=self.dop,
+        ):
+            results = self.pool.run(tasks, weights, workers=self.dop)
         stats.partition_agg_times = [r.elapsed for r in results]
         stats.mode = MODE_GROUPS
         run = self.pool.last_run

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import BindError
@@ -161,6 +161,13 @@ class QueryStats:
         self.total_segments_read += io.get("segments_read", 0)
         self.total_segments_skipped += io.get("segments_skipped", 0)
 
+    def snapshot(self) -> "QueryStats":
+        """An immutable copy: the registry mutates its own entry in
+        place on every re-execution, so anything that retains a stats
+        row (the query store, the slow-query log) must hold a snapshot,
+        never the live object."""
+        return replace(self)
+
 
 def normalize_query_text(sql: str) -> str:
     """Collapse whitespace so formatting differences share one stats row."""
@@ -197,13 +204,15 @@ class MetricsRegistry:
             stats = QueryStats(query_text=text, statement_kind=kind)
             self._queries[text] = stats
         stats.record(elapsed, rows, io, dop=dop)
-        return stats
+        # hand back a snapshot: callers that keep the row (query store,
+        # slow-query log) must not see it mutate on the next execution
+        return stats.snapshot()
 
     def clear(self) -> None:
         self._queries.clear()
 
     def queries(self) -> List[QueryStats]:
-        return list(self._queries.values())
+        return [stats.snapshot() for stats in self._queries.values()]
 
     # -- system-view row sources ------------------------------------------------
 
@@ -230,8 +239,17 @@ class MetricsRegistry:
             )
         return rows
 
-    def prometheus_text(self, io_totals: Dict[str, int]) -> str:
-        """Render the registry as Prometheus exposition-format text."""
+    def prometheus_text(
+        self,
+        io_totals: Dict[str, int],
+        workers: Optional[Sequence[Tuple[Any, ...]]] = None,
+        waits: Optional[Sequence[Tuple[Any, ...]]] = None,
+    ) -> str:
+        """Render the registry as Prometheus exposition-format text.
+
+        ``workers`` takes ``sys_dm_os_workers`` rows and ``waits`` takes
+        ``sys_dm_os_wait_stats`` rows, so pool utilisation and wait
+        accounting scrape alongside the per-query counters."""
         lines = [
             "# HELP repro_engine_query_executions_total "
             "Executions per normalised query text.",
@@ -255,6 +273,31 @@ class MetricsRegistry:
                 f"{q.total_elapsed:.6f}"
             )
         lines += [
+            "# HELP repro_engine_query_last_dop "
+            "Degree of parallelism of each query's most recent plan.",
+            "# TYPE repro_engine_query_last_dop gauge",
+        ]
+        for q in self._queries.values():
+            label = q.query_text.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_engine_query_last_dop{{query="{label}"}} {q.last_dop}'
+            )
+        lines += [
+            "# HELP repro_engine_query_segments_total "
+            "Columnstore segments read/skipped per normalised query text.",
+            "# TYPE repro_engine_query_segments_total counter",
+        ]
+        for q in self._queries.values():
+            label = q.query_text.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_engine_query_segments_total{{query="{label}",'
+                f'outcome="read"}} {q.total_segments_read}'
+            )
+            lines.append(
+                f'repro_engine_query_segments_total{{query="{label}",'
+                f'outcome="skipped"}} {q.total_segments_skipped}'
+            )
+        lines += [
             "# HELP repro_engine_io_total Storage-layer IO counters.",
             "# TYPE repro_engine_io_total counter",
         ]
@@ -262,6 +305,51 @@ class MetricsRegistry:
             lines.append(
                 f'repro_engine_io_total{{counter="{key}"}} {io_totals[key]}'
             )
+        if workers is not None:
+            lines += [
+                "# HELP repro_engine_worker_tasks_completed_total "
+                "Tasks completed per pool worker.",
+                "# TYPE repro_engine_worker_tasks_completed_total counter",
+                "# HELP repro_engine_worker_rows_processed_total "
+                "Rows processed per pool worker.",
+                "# TYPE repro_engine_worker_rows_processed_total counter",
+                "# HELP repro_engine_worker_busy_seconds_total "
+                "In-task wall-clock seconds per pool worker.",
+                "# TYPE repro_engine_worker_busy_seconds_total counter",
+            ]
+            for worker_id, _pid, _state, tasks, rows, busy_ms, _last in (
+                workers
+            ):
+                lines.append(
+                    "repro_engine_worker_tasks_completed_total"
+                    f'{{worker="{worker_id}"}} {tasks}'
+                )
+                lines.append(
+                    "repro_engine_worker_rows_processed_total"
+                    f'{{worker="{worker_id}"}} {rows}'
+                )
+                lines.append(
+                    "repro_engine_worker_busy_seconds_total"
+                    f'{{worker="{worker_id}"}} {busy_ms / 1000.0:.6f}'
+                )
+        if waits is not None:
+            lines += [
+                "# HELP repro_engine_wait_seconds_total "
+                "Cumulative engine wait time by wait type.",
+                "# TYPE repro_engine_wait_seconds_total counter",
+                "# HELP repro_engine_waiting_tasks_total "
+                "Cumulative waits observed by wait type.",
+                "# TYPE repro_engine_waiting_tasks_total counter",
+            ]
+            for wait_type, count, wait_ms, _max_ms in waits:
+                lines.append(
+                    "repro_engine_wait_seconds_total"
+                    f'{{wait_type="{wait_type}"}} {wait_ms / 1000.0:.6f}'
+                )
+                lines.append(
+                    "repro_engine_waiting_tasks_total"
+                    f'{{wait_type="{wait_type}"}} {count}'
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -465,6 +553,111 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         verify_rows,
     )
 
+    query_store_query = VirtualTable(
+        _view_schema(
+            "sys_dm_query_store_query",
+            [
+                ("query_id", int_type()),
+                ("query_text", varchar_type(-1)),
+                ("statement_kind", varchar_type(64)),
+                ("first_seen", varchar_type(32)),
+                ("last_seen", varchar_type(32)),
+                ("execution_count", int_type()),
+                ("plan_count", int_type()),
+            ],
+        ),
+        lambda: db.query_store.query_rows(),
+    )
+
+    query_store_plan = VirtualTable(
+        _view_schema(
+            "sys_dm_query_store_plan",
+            [
+                ("plan_id", int_type()),
+                ("query_id", int_type()),
+                ("plan_text", varchar_type(-1)),
+                ("est_rows", int_type()),
+                ("first_seen", varchar_type(32)),
+                ("last_dop", int_type()),
+                ("execution_count", int_type()),
+            ],
+        ),
+        lambda: db.query_store.plan_rows(),
+    )
+
+    query_store_runtime = VirtualTable(
+        _view_schema(
+            "sys_dm_query_store_runtime_stats",
+            [
+                ("query_id", int_type()),
+                ("plan_id", int_type()),
+                ("interval_id", int_type()),
+                ("interval_start", varchar_type(32)),
+                ("executions", int_type()),
+                ("total_elapsed_ms", float_type()),
+                ("avg_elapsed_ms", float_type()),
+                ("last_elapsed_ms", float_type()),
+                ("total_rows", int_type()),
+                ("last_est_rows", int_type()),
+                ("last_actual_rows", int_type()),
+                ("total_logical_reads", int_type()),
+                ("total_batch_reads", int_type()),
+                ("total_segments_read", int_type()),
+                ("total_segments_skipped", int_type()),
+                ("last_dop", int_type()),
+            ],
+        ),
+        lambda: db.query_store.runtime_rows(),
+    )
+
+    wait_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_os_wait_stats",
+            [
+                ("wait_type", varchar_type(32)),
+                ("waiting_tasks_count", int_type()),
+                ("wait_time_ms", float_type()),
+                ("max_wait_time_ms", float_type()),
+            ],
+        ),
+        lambda: db.tracer.wait_stats.rows(),
+    )
+
+    trace_spans = VirtualTable(
+        _view_schema(
+            "sys_dm_exec_trace_spans",
+            [
+                ("trace_id", int_type()),
+                ("span_id", int_type()),
+                ("parent_span_id", int_type()),
+                ("name", varchar_type(-1)),
+                ("category", varchar_type(32)),
+                ("wait_type", varchar_type(32)),
+                ("start_ms", float_type()),
+                ("duration_ms", float_type()),
+                ("pid", int_type()),
+                ("worker", int_type()),
+            ],
+        ),
+        lambda: db.tracer.span_rows(),
+    )
+
+    slow_queries = VirtualTable(
+        _view_schema(
+            "sys_dm_exec_slow_queries",
+            [
+                ("query_text", varchar_type(-1)),
+                ("statement_kind", varchar_type(64)),
+                ("elapsed_ms", float_type()),
+                ("threshold_ms", float_type()),
+                ("row_count", int_type()),
+                ("dop", int_type()),
+                ("started_at", varchar_type(32)),
+            ],
+        ),
+        lambda: db.slow_query_rows(),
+    )
+
     return {
         "sys_dm_exec_query_stats": query_stats,
         "sys_dm_db_index_stats": index_stats,
@@ -472,4 +665,10 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         "sys_dm_db_segment_stats": segment_stats,
         "sys_dm_verify_results": verify_results,
         "sys_dm_os_workers": os_workers,
+        "sys_dm_query_store_query": query_store_query,
+        "sys_dm_query_store_plan": query_store_plan,
+        "sys_dm_query_store_runtime_stats": query_store_runtime,
+        "sys_dm_os_wait_stats": wait_stats,
+        "sys_dm_exec_trace_spans": trace_spans,
+        "sys_dm_exec_slow_queries": slow_queries,
     }

@@ -189,16 +189,19 @@ class Planner:
     # ------------------------------------------------------------------ SELECT
 
     def plan_select(self, stmt: ast.SelectStmt) -> PhysicalOperator:
-        logical = lower_select(stmt, self.database.catalog)
-        self._notes = []
-        apply_rewrites(
-            logical, self.database.catalog, self.cost, self._notes
-        )
-        self._lint(logical)
-        op = self._lower_plan(logical)
-        self._select_execution_modes(op)
-        self.cost.annotate(op)
-        op.plan_notes = list(self._notes)
+        from . import tracing
+
+        with tracing.span("plan statement", category="plan"):
+            logical = lower_select(stmt, self.database.catalog)
+            self._notes = []
+            apply_rewrites(
+                logical, self.database.catalog, self.cost, self._notes
+            )
+            self._lint(logical)
+            op = self._lower_plan(logical)
+            self._select_execution_modes(op)
+            self.cost.annotate(op)
+            op.plan_notes = list(self._notes)
         return op
 
     def _select_execution_modes(self, op: PhysicalOperator) -> None:

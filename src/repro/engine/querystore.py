@@ -1,0 +1,449 @@
+"""A persistent Query Store: normalised queries, interned plans, and
+per-interval runtime statistics.
+
+SQL Server 2016's Query Store is what makes a workload like the paper's
+— the same level-1→3 queries re-planned and re-run for every lane —
+operable: it keys history by *normalised* statement text, interns every
+distinct plan a query has run with, and accumulates runtime statistics
+per (query, plan, time interval), persisted inside the database itself.
+This module reproduces that shape:
+
+- :func:`normalize_statement` canonicalises SQL through the engine's own
+  lexer — literals become ``?`` parameter markers, keywords uppercase,
+  whitespace collapses — so ``WHERE r_id = 3`` and ``where r_id=7``
+  share one query store entry;
+- plans are interned by a structural signature (the operator tree's
+  static labels), so a plan change after ``UPDATE STATISTICS`` shows up
+  as a second plan row under the same query — the raw material for the
+  ROADMAP's plan-cache / plan-regression work;
+- runtime stats accumulate per ``interval_seconds`` bucket (SQL
+  Server's ``runtime_stats_interval``), recording executions, wall
+  clock, rows, IO/batch/segment counters, last DOP, and *estimated vs
+  actual* rows — the feedback signal adaptive optimization needs;
+- the whole store round-trips to JSON (``querystore.json`` alongside
+  the FILESTREAM filegroup), so history survives a database restart.
+
+Surfaced as ``sys_dm_query_store_query`` / ``_plan`` /
+``_runtime_stats`` virtual views (see :mod:`repro.engine.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .sql.lexer import EOF, KEYWORD, NUMBER, STRING, tokenize
+
+#: sentinel for "no estimate available" in integer DMV columns
+_NO_ESTIMATE = -1
+
+
+def normalize_statement(sql: str) -> str:
+    """Canonical form of a statement for query-store keying.
+
+    Tokenises with the engine lexer and re-joins: numeric and string
+    literals become ``?``, keywords uppercase, comments and whitespace
+    differences vanish. Unlexable text (CLI pseudo-statements, foreign
+    dialects) falls back to whitespace collapsing."""
+    try:
+        tokens = tokenize(sql)
+    except Exception:  # noqa: BLE001 - fall back, never fail the caller
+        return " ".join(sql.split())
+    parts: List[str] = []
+    for token in tokens:
+        if token.type == EOF:
+            break
+        if token.type in (NUMBER, STRING):
+            parts.append("?")
+        elif token.type == KEYWORD:
+            parts.append(token.value.upper())
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
+
+
+_LITERAL_IN_LABEL = re.compile(r"'[^']*'|\b\d+(?:\.\d+)?\b")
+
+
+def plan_signature(op: Any) -> Tuple[Tuple[int, str], ...]:
+    """Structural identity of a physical plan: the tree of operator
+    labels with literals masked, depth-tagged. Two executions share a
+    plan_id iff their trees label identically — seek predicates like
+    ``a = (3,)`` must not fragment the store into one plan per
+    parameter value, so numbers and strings inside labels become ``?``
+    (the same treatment :func:`normalize_statement` gives query text)."""
+    parts: List[Tuple[int, str]] = []
+
+    def walk(node: Any, depth: int) -> None:
+        label, _children = node.explain_node()
+        parts.append((depth, _LITERAL_IN_LABEL.sub("?", label)))
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(op, 0)
+    return tuple(parts)
+
+
+def _iso(epoch: Optional[float]) -> str:
+    if epoch is None:
+        return ""
+    return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(epoch))
+
+
+# ---------------------------------------------------------------------------
+# store entries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoredQuery:
+    """One normalised query text."""
+
+    query_id: int
+    query_text: str
+    statement_kind: str
+    first_seen: float
+    last_seen: float
+    execution_count: int = 0
+
+
+@dataclass
+class StoredPlan:
+    """One interned plan for a query."""
+
+    plan_id: int
+    query_id: int
+    plan_text: str
+    est_rows: Optional[int]
+    first_seen: float
+    last_dop: int = 1
+    execution_count: int = 0
+
+
+@dataclass
+class RuntimeStats:
+    """Accumulated runtime statistics for (query, plan, interval)."""
+
+    query_id: int
+    plan_id: int
+    interval_id: int
+    interval_start: float
+    executions: int = 0
+    total_elapsed: float = 0.0
+    last_elapsed: float = 0.0
+    total_rows: int = 0
+    last_rows: int = 0
+    last_est_rows: Optional[int] = None
+    last_actual_rows: int = 0
+    total_logical_reads: int = 0
+    total_pages_written: int = 0
+    total_batch_reads: int = 0
+    total_segments_read: int = 0
+    total_segments_skipped: int = 0
+    last_dop: int = 1
+
+    def record(
+        self,
+        elapsed: float,
+        rows: int,
+        io: Dict[str, int],
+        dop: int,
+        est_rows: Optional[int],
+    ) -> None:
+        self.executions += 1
+        self.total_elapsed += elapsed
+        self.last_elapsed = elapsed
+        self.total_rows += rows
+        self.last_rows = rows
+        self.last_est_rows = est_rows
+        self.last_actual_rows = rows
+        self.total_logical_reads += io.get("pages_read", 0) + io.get(
+            "index_node_visits", 0
+        )
+        self.total_pages_written += io.get("pages_written", 0)
+        self.total_batch_reads += io.get("batch_reads", 0)
+        self.total_segments_read += io.get("segments_read", 0)
+        self.total_segments_skipped += io.get("segments_skipped", 0)
+        self.last_dop = dop
+
+
+@dataclass
+class _CaptureOutcome:
+    """What one :meth:`QueryStore.record` call interned (for tests and
+    the slow-query log)."""
+
+    query: StoredQuery
+    plan: Optional[StoredPlan]
+    runtime: RuntimeStats
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class QueryStore:
+    """Per-database query store with JSON persistence.
+
+    ``retain`` bounds distinct normalised queries (oldest evicted with
+    their plans and runtime rows); ``interval_seconds`` is the runtime
+    stats bucketing window (SQL Server defaults to 60 minutes)."""
+
+    def __init__(self, retain: int = 200, interval_seconds: float = 3600.0):
+        self.enabled = True
+        self.retain = retain
+        self.interval_seconds = float(interval_seconds)
+        self._queries: Dict[str, StoredQuery] = {}
+        self._plans: Dict[Tuple[int, Tuple], StoredPlan] = {}
+        self._runtime: Dict[Tuple[int, int, int], RuntimeStats] = {}
+        self._next_query_id = 1
+        self._next_plan_id = 1
+        #: raw SQL -> normalised text memo (hot statements re-execute
+        #: verbatim, so normalisation is paid once per distinct text)
+        self._norm_cache: Dict[str, str] = {}
+        self.dirty = False
+
+    # -- capture -----------------------------------------------------------------
+
+    def normalize(self, sql: str) -> str:
+        cached = self._norm_cache.get(sql)
+        if cached is None:
+            cached = normalize_statement(sql)
+            if len(self._norm_cache) > 4 * self.retain:
+                self._norm_cache.clear()
+            self._norm_cache[sql] = cached
+        return cached
+
+    def record(
+        self,
+        sql: str,
+        kind: str,
+        elapsed: float,
+        rows: int,
+        io: Optional[Dict[str, int]] = None,
+        dop: int = 1,
+        plan: Any = None,
+        now: Optional[float] = None,
+    ) -> Optional[_CaptureOutcome]:
+        """Capture one execution. ``plan`` is the executed physical
+        operator tree when the statement had one (SELECT / EXPLAIN
+        ANALYZE); plan-less statements land under plan_id 0."""
+        if not self.enabled:
+            return None
+        if now is None:
+            now = time.time()
+        text = self.normalize(sql)
+        query = self._queries.get(text)
+        if query is None:
+            if len(self._queries) >= self.retain:
+                self._evict_oldest()
+            query = StoredQuery(
+                query_id=self._next_query_id,
+                query_text=text,
+                statement_kind=kind,
+                first_seen=now,
+                last_seen=now,
+            )
+            self._next_query_id += 1
+            self._queries[text] = query
+        query.execution_count += 1
+        query.last_seen = now
+
+        stored_plan: Optional[StoredPlan] = None
+        plan_id = 0
+        est_rows: Optional[int] = None
+        if plan is not None:
+            signature = plan_signature(plan)
+            est_rows = getattr(plan, "est_rows", None)
+            stored_plan = self._plans.get((query.query_id, signature))
+            if stored_plan is None:
+                stored_plan = StoredPlan(
+                    plan_id=self._next_plan_id,
+                    query_id=query.query_id,
+                    plan_text=plan.explain(),
+                    est_rows=est_rows,
+                    first_seen=now,
+                )
+                self._next_plan_id += 1
+                self._plans[(query.query_id, signature)] = stored_plan
+            stored_plan.execution_count += 1
+            stored_plan.last_dop = dop
+            stored_plan.est_rows = est_rows
+            plan_id = stored_plan.plan_id
+
+        interval_id = int(now // self.interval_seconds)
+        key = (query.query_id, plan_id, interval_id)
+        runtime = self._runtime.get(key)
+        if runtime is None:
+            runtime = RuntimeStats(
+                query_id=query.query_id,
+                plan_id=plan_id,
+                interval_id=interval_id,
+                interval_start=interval_id * self.interval_seconds,
+            )
+            self._runtime[key] = runtime
+        runtime.record(elapsed, rows, io or {}, dop, est_rows)
+        self.dirty = True
+        return _CaptureOutcome(query=query, plan=stored_plan, runtime=runtime)
+
+    def _evict_oldest(self) -> None:
+        """Age out the least-recently-interned query and its history."""
+        oldest_text = next(iter(self._queries))
+        victim = self._queries.pop(oldest_text)
+        self._plans = {
+            key: plan
+            for key, plan in self._plans.items()
+            if plan.query_id != victim.query_id
+        }
+        self._runtime = {
+            key: stats
+            for key, stats in self._runtime.items()
+            if stats.query_id != victim.query_id
+        }
+
+    def clear(self) -> None:
+        self._queries.clear()
+        self._plans.clear()
+        self._runtime.clear()
+        self.dirty = True
+
+    # -- reading -----------------------------------------------------------------
+
+    def queries(self) -> List[StoredQuery]:
+        return list(self._queries.values())
+
+    def find_query(self, sql: str) -> Optional[StoredQuery]:
+        return self._queries.get(self.normalize(sql))
+
+    def plans_for(self, query_id: int) -> List[StoredPlan]:
+        return [p for p in self._plans.values() if p.query_id == query_id]
+
+    def runtime_for(
+        self, query_id: int, plan_id: Optional[int] = None
+    ) -> List[RuntimeStats]:
+        return [
+            r
+            for r in self._runtime.values()
+            if r.query_id == query_id
+            and (plan_id is None or r.plan_id == plan_id)
+        ]
+
+    # -- DMV row sources ---------------------------------------------------------
+
+    def query_rows(self) -> List[Tuple[Any, ...]]:
+        rows = []
+        for q in self._queries.values():
+            plan_count = sum(
+                1 for p in self._plans.values() if p.query_id == q.query_id
+            )
+            rows.append(
+                (
+                    q.query_id,
+                    q.query_text,
+                    q.statement_kind,
+                    _iso(q.first_seen),
+                    _iso(q.last_seen),
+                    q.execution_count,
+                    plan_count,
+                )
+            )
+        return rows
+
+    def plan_rows(self) -> List[Tuple[Any, ...]]:
+        return [
+            (
+                p.plan_id,
+                p.query_id,
+                p.plan_text,
+                _NO_ESTIMATE if p.est_rows is None else int(p.est_rows),
+                _iso(p.first_seen),
+                p.last_dop,
+                p.execution_count,
+            )
+            for p in self._plans.values()
+        ]
+
+    def runtime_rows(self) -> List[Tuple[Any, ...]]:
+        rows = []
+        for r in self._runtime.values():
+            avg = r.total_elapsed / r.executions if r.executions else 0.0
+            rows.append(
+                (
+                    r.query_id,
+                    r.plan_id,
+                    r.interval_id,
+                    _iso(r.interval_start),
+                    r.executions,
+                    round(r.total_elapsed * 1000.0, 3),
+                    round(avg * 1000.0, 3),
+                    round(r.last_elapsed * 1000.0, 3),
+                    r.total_rows,
+                    (
+                        _NO_ESTIMATE
+                        if r.last_est_rows is None
+                        else int(r.last_est_rows)
+                    ),
+                    r.last_actual_rows,
+                    r.total_logical_reads,
+                    r.total_batch_reads,
+                    r.total_segments_read,
+                    r.total_segments_skipped,
+                    r.last_dop,
+                )
+            )
+        return rows
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "next_query_id": self._next_query_id,
+            "next_plan_id": self._next_plan_id,
+            "interval_seconds": self.interval_seconds,
+            "queries": [vars(q) for q in self._queries.values()],
+            "plans": [
+                {"signature": list(map(list, sig)), **vars(plan)}
+                for (qid, sig), plan in self._plans.items()
+            ],
+            "runtime": [vars(r) for r in self._runtime.values()],
+        }
+
+    def from_dict(self, payload: Dict[str, Any]) -> None:
+        self._queries = {}
+        self._plans = {}
+        self._runtime = {}
+        self._next_query_id = int(payload.get("next_query_id", 1))
+        self._next_plan_id = int(payload.get("next_plan_id", 1))
+        self.interval_seconds = float(
+            payload.get("interval_seconds", self.interval_seconds)
+        )
+        for entry in payload.get("queries", []):
+            query = StoredQuery(**entry)
+            self._queries[query.query_text] = query
+        for entry in payload.get("plans", []):
+            entry = dict(entry)
+            signature = tuple(
+                (int(depth), label) for depth, label in entry.pop("signature")
+            )
+            plan = StoredPlan(**entry)
+            self._plans[(plan.query_id, signature)] = plan
+        for entry in payload.get("runtime", []):
+            stats = RuntimeStats(**entry)
+            self._runtime[
+                (stats.query_id, stats.plan_id, stats.interval_id)
+            ] = stats
+        self.dirty = False
+
+    def save(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+        self.dirty = False
+
+    def load(self, path: Any) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            self.from_dict(json.load(handle))

@@ -188,13 +188,16 @@ class Parser:
             enabled = self._expect_keyword("ON", "OFF").value == "ON"
             return ast.SetStatisticsStmt(option, enabled)
         name = self._expect_ident().upper()
-        if name != "MAX_DOP":
-            raise self._error("expected STATISTICS or MAX_DOP after SET")
+        if name not in ("MAX_DOP", "SLOW_QUERY_THRESHOLD"):
+            raise self._error(
+                "expected STATISTICS, MAX_DOP, or SLOW_QUERY_THRESHOLD "
+                "after SET"
+            )
         token = self._peek()
         if token.type != NUMBER:
-            raise self._error("expected a number after SET MAX_DOP")
+            raise self._error(f"expected a number after SET {name}")
         self._next()
-        return ast.SetOptionStmt("MAX_DOP", int(token.value))
+        return ast.SetOptionStmt(name, int(token.value))
 
     # -- SELECT -----------------------------------------------------------------------
 

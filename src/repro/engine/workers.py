@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from . import tracing
 from .errors import EngineError
 
 #: environment kill switch: force every exchange serial
@@ -229,7 +230,9 @@ def run_partial_aggregate(payload: Dict[str, Any]) -> Dict[str, Any]:
     The groups dict preserves first-occurrence order within this
     partition; the coordinator merges partitions in range order, which
     reproduces the serial hash aggregate's group order exactly."""
+    decode_started = time.perf_counter()
     rows, io = _source_rows(payload["source"])
+    agg_started = time.perf_counter()
     specs = payload["specs"]
     group_indexes = payload["group_indexes"]
     key_of = itemgetter(*group_indexes)
@@ -261,19 +264,35 @@ def run_partial_aggregate(payload: Dict[str, Any]) -> Dict[str, Any]:
                 state.add_values(list(map(spec.arg_fns[0], bucket)))
             states.append(state)
         groups[key] = states
-    return {"groups": groups, "rows": len(rows), "io": io}
+    done = time.perf_counter()
+    return {
+        "groups": groups,
+        "rows": len(rows),
+        "io": io,
+        "phases": [
+            ("decode slice", "DECODE", decode_started, agg_started),
+            ("partial aggregate", None, agg_started, done),
+        ],
+    }
 
 
 def run_uda_group(payload: Dict[str, Any]) -> Dict[str, Any]:
     """One ordered-UDA group task: run the aggregate over the whole
     group's rows (groups never split across workers — the consensus
     plan's per-chromosome parallelism)."""
+    started = time.perf_counter()
     spec = payload["spec"]
     rows = payload["rows"]
     state = spec.new_state()
     for row in rows:
         state.add(row)
-    return {"result": state.result(), "rows": len(rows), "io": {}}
+    done = time.perf_counter()
+    return {
+        "result": state.result(),
+        "rows": len(rows),
+        "io": {},
+        "phases": [("uda group", None, started, done)],
+    }
 
 
 _TASK_KINDS = {
@@ -284,20 +303,38 @@ _TASK_KINDS = {
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     """Worker process loop: unpickle task, dispatch by kind, return a
-    pickled result. Exceptions are reported, never fatal to the loop."""
+    pickled result. Exceptions are reported, never fatal to the loop.
+
+    When the coordinator is tracing (``want_spans``), the worker
+    measures its own phases — queue wait, task unpickle, the handler's
+    internal phases (decode/aggregate), result pickle — and ships them
+    back as raw ``(name, wait_type, start, end)`` tuples *outside* the
+    result blob (the result-ship span cannot be inside the bytes it
+    times). ``perf_counter`` shares one monotonic clock across forked
+    processes, so the coordinator grafts these endpoints unadjusted."""
     while True:
         item = task_queue.get()
         if item is None:
             break
-        task_id, blob = item
+        task_id, blob, enqueued, want_spans = item
         started = time.perf_counter()
+        spans: List[Tuple[str, Optional[str], float, float]] = []
         try:
             kind, payload = pickle.loads(blob)
+            decoded = time.perf_counter()
             result = _TASK_KINDS[kind](payload)
+            phases = result.pop("phases", [])
+            ran = time.perf_counter()
             out = pickle.dumps(result, _PICKLE_PROTOCOL)
-            elapsed = time.perf_counter() - started
+            shipped = time.perf_counter()
+            elapsed = shipped - started
+            if want_spans:
+                spans.append(("queue wait", "WORKER_QUEUE", enqueued, started))
+                spans.append(("unpickle task", "TRANSPORT", started, decoded))
+                spans.extend(phases)
+                spans.append(("pickle result", "TRANSPORT", ran, shipped))
             result_queue.put(
-                (task_id, worker_id, True, out, elapsed, result["rows"])
+                (task_id, worker_id, True, out, elapsed, result["rows"], spans)
             )
         except Exception as exc:  # noqa: BLE001 - reported to coordinator
             elapsed = time.perf_counter() - started
@@ -309,6 +346,7 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                     f"{type(exc).__name__}: {exc}",
                     elapsed,
                     0,
+                    spans,
                 )
             )
 
@@ -328,6 +366,9 @@ class TaskResult:
     rows: int
     bytes_sent: int
     bytes_received: int
+    spans: List[Tuple[str, Optional[str], float, float]] = field(
+        default_factory=list
+    )
 
 
 @dataclass
@@ -491,11 +532,15 @@ class WorkerPool:
             else [float(len(blob)) for blob in blobs]
         )
         stats = RunStats(bytes_sent=sum(len(b) for b in blobs))
+        trace = tracing.current_trace()
+        want_spans = trace is not None
         started = time.perf_counter()
         assignment = lpt_assign(task_weights, active)
         for worker_id, task_ids in enumerate(assignment):
             for task_id in task_ids:
-                self._task_queues[worker_id].put((task_id, blobs[task_id]))
+                self._task_queues[worker_id].put(
+                    (task_id, blobs[task_id], time.perf_counter(), want_spans)
+                )
         timeout = float(os.environ.get(TIMEOUT_ENV, _DEFAULT_TIMEOUT))
         deadline = started + timeout
         results: List[Optional[TaskResult]] = [None] * len(tasks)
@@ -506,7 +551,7 @@ class WorkerPool:
                 self._terminate()
                 raise WorkerPoolError(self._broken)
             try:
-                task_id, worker_id, ok, blob, elapsed, rows = (
+                task_id, worker_id, ok, blob, elapsed, rows, spans = (
                     self._result_queue.get(timeout=remaining)
                 )
             except Exception:  # noqa: BLE001 - queue.Empty or pipe error
@@ -529,8 +574,17 @@ class WorkerPool:
                 rows=rows,
                 bytes_sent=len(blobs[task_id]),
                 bytes_received=len(blob),
+                spans=spans,
             )
             state = self._states[worker_id]
+            if trace is not None and spans:
+                tracing.graft_worker_spans(
+                    trace,
+                    f"task {task_id} (worker {worker_id})",
+                    worker_id,
+                    state.pid,
+                    spans,
+                )
             state.tasks_completed += 1
             state.rows_processed += rows
             state.busy_seconds += elapsed
