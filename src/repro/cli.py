@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the lab loop a downstream user runs:
+Eight subcommands cover the lab loop a downstream user runs:
 
 - ``simulate`` — generate a synthetic reference genome, gene annotation,
   and a level-1 FASTQ lane (DGE or re-sequencing statistics);
@@ -17,7 +17,13 @@ Seven subcommands cover the lab loop a downstream user runs:
   export Chrome trace-event JSON;
 - ``lint`` — statically verify UDx modules (permission sets, contracts)
   and lint ``.sql`` scripts through the plan-time analyzer, exiting
-  non-zero when any error-severity finding is reported.
+  non-zero when any error-severity finding is reported;
+- ``sanitize`` — run the plan sanitizer and fork-safety analyzer:
+  ``--self`` proves the engine's own surface (fork-safety over the
+  parallel engine's source + the golden plan corpus must produce zero
+  diagnostics), paths mode checks user ``.sql`` scripts (planned with
+  ``PLAN_VERIFY`` armed) and ``.py`` modules (fork-safety AST pass);
+  ``--report`` writes the machine-readable findings JSON CI uploads.
 
 Example::
 
@@ -480,15 +486,22 @@ def _lint_python_file(db, path: Path, diagnostics: List) -> None:
 
 def _lint_sql_file(db, path: Path, diagnostics: List) -> None:
     """Statically check a .sql script: every statement is parsed,
-    bound, and (for queries) planned so the plan-time lint fires, but
-    queries and DML are never executed — only schema statements apply,
+    bound, and (for queries) planned so the plan-time lint — and the
+    plan sanitizer, which ``Database.check`` force-arms — fires, but
+    queries and DML are never executed; only schema statements apply,
     against the scratch lint catalog, so later statements bind.
-    Findings land in the lint log; bind errors become diagnostics."""
+    Findings land in the lint log; bind errors become diagnostics.
+    ``-- lint: ignore RULE`` pragmas anywhere in the file suppress
+    those rules for the whole script (statement splitting strips
+    comments, so file scope is the CLI's suppression granularity)."""
     from .engine.errors import EngineError
+    from .engine.verify.sql_lint import parse_suppressions
     from .engine.verify.udx_verifier import Diagnostic
 
+    text = path.read_text(encoding="utf-8")
+    suppressed = parse_suppressions(text)
     before = len(db.lint_rows())
-    for statement in _split_sql_script(path.read_text(encoding="utf-8")):
+    for statement in _split_sql_script(text):
         try:
             db.check(statement)
         except EngineError as exc:
@@ -500,7 +513,11 @@ def _lint_sql_file(db, path: Path, diagnostics: List) -> None:
                     f"{type(exc).__name__}: {exc}",
                 )
             )
-    for origin, obj, rule, severity, message in db.lint_rows()[before:]:
+    for origin, obj, rule, severity, message, _source in (
+        db.lint_rows()[before:]
+    ):
+        if rule in suppressed:
+            continue
         diagnostics.append(Diagnostic(rule, severity, f"{path}:{obj}", message))
 
 
@@ -516,7 +533,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         and infos never raise)."""
         nonlocal drained
         rows = db.catalog.functions.verification_rows()
-        for kind, obj, rule, severity, message in rows[drained:]:
+        for kind, obj, rule, severity, message, _source in rows[drained:]:
             diagnostics.append(
                 Diagnostic(rule, severity, f"{kind} {obj}", message)
             )
@@ -561,6 +578,106 @@ def cmd_lint(args: argparse.Namespace) -> int:
         f"{len(diagnostics) - errors - warnings} info"
     )
     return 1 if errors else 0
+
+
+# ---------------------------------------------------------------------------
+# sanitize
+# ---------------------------------------------------------------------------
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Plan sanitizer + fork-safety analysis (PLAN-*/FORK-* rules).
+
+    ``--self`` is the CI gate: the fork-safety AST pass over the
+    parallel engine's own modules plus the golden plan corpus (Figure
+    9/10 shapes and the differential-suite shapes across storage ×
+    execution mode × DOP) must produce zero diagnostics. Paths mode
+    checks user ``.sql`` scripts (statically planned with the
+    sanitizer armed) and ``.py`` modules (fork-safety analysis).
+    """
+    import json
+
+    from .engine import Database
+    from .engine.verify.parallel_safety import analyze_path
+    from .engine.verify.plan_corpus import corpus_plans
+    from .engine.verify.plan_sanitizer import sanitize_plan
+
+    findings: List = []  # (source, Diagnostic)
+    plans_checked = 0
+    modules_checked = 0
+
+    if args.self_check:
+        from .engine.verify.parallel_safety import (
+            DEFAULT_MODULES,
+            analyze_fork_safety,
+        )
+
+        modules_checked += len(DEFAULT_MODULES)
+        for d in analyze_fork_safety():
+            findings.append(("engine fork-safety", d))
+        for description, plan, database in corpus_plans():
+            plans_checked += 1
+            for d in sanitize_plan(plan, database):
+                findings.append((description, d))
+
+    sql_paths: List[Path] = []
+    py_paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            sql_paths.extend(sorted(path.rglob("*.sql")))
+            py_paths.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            py_paths.append(path)
+        else:
+            sql_paths.append(path)
+    for path in py_paths:
+        modules_checked += 1
+        for d in analyze_path(path):
+            findings.append((str(path), d))
+    if sql_paths:
+        with Database() as db:
+            for path in sql_paths:
+                plans_checked += len(
+                    _split_sql_script(path.read_text(encoding="utf-8"))
+                )
+                diagnostics: List = []
+                _lint_sql_file(db, path, diagnostics)
+                for d in diagnostics:
+                    findings.append((str(path), d))
+
+    for source, d in findings:
+        print(f"{source}: {d}")
+    errors = sum(1 for _s, d in findings if d.severity == "error")
+    warnings = sum(1 for _s, d in findings if d.severity == "warning")
+    print(
+        f"sanitize: {plans_checked} plan(s), {modules_checked} module(s) "
+        f"checked — {errors} error(s), {warnings} warning(s)"
+    )
+    if args.report:
+        payload = {
+            "summary": {
+                "plans_checked": plans_checked,
+                "modules_checked": modules_checked,
+                "errors": errors,
+                "warnings": warnings,
+            },
+            "findings": [
+                {
+                    "source": source,
+                    "rule": d.rule,
+                    "severity": d.severity,
+                    "object": d.obj,
+                    "message": d.message,
+                }
+                for source, d in findings
+            ],
+        }
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote report to {args.report}")
+    return 1 if findings else 0
 
 
 # ---------------------------------------------------------------------------
@@ -704,6 +821,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print info-level findings",
     )
     lint.set_defaults(func=cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run the plan sanitizer + fork-safety analyzer "
+        "(PLAN-*/FORK-* rules; exit 1 on any finding)",
+    )
+    sanitize.add_argument(
+        "paths",
+        nargs="*",
+        help=".sql scripts (statically planned with the sanitizer "
+        "armed), .py modules (fork-safety AST analysis), or "
+        "directories of either",
+    )
+    sanitize.add_argument(
+        "--self",
+        dest="self_check",
+        action="store_true",
+        help="verify the engine itself: fork-safety over the parallel "
+        "engine's source plus zero diagnostics over the golden plan "
+        "corpus (the CI gate)",
+    )
+    sanitize.add_argument(
+        "--report",
+        help="write findings + summary as JSON (CI uploads this as "
+        "the diagnostic report artifact)",
+    )
+    sanitize.set_defaults(func=cmd_sanitize)
 
     return parser
 

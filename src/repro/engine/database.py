@@ -154,7 +154,14 @@ class Database:
         #: per-execute() informational messages (the "Messages" tab)
         self.messages: List[str] = []
         #: plan-time lint findings, newest last (sys_dm_verify_results)
-        self._lint_log: List[Tuple[str, str, str, str, str]] = []
+        self._lint_log: List[Tuple[str, str, str, str, str, str]] = []
+        #: SET PLAN_VERIFY ON — run the plan sanitizer over every
+        #: planned statement (also honoured by EXPLAIN and check());
+        #: initialised from the REPRO_PLAN_VERIFY environment variable
+        #: so test suites can arm it globally
+        self.plan_verify = os.environ.get(
+            "REPRO_PLAN_VERIFY", ""
+        ).strip().lower() in ("1", "on", "true", "yes")
         for view_name, view in make_system_views(self).items():
             self.catalog.register_view(view_name, view)
         self._register_builtin_overrides()
@@ -254,18 +261,21 @@ class Database:
     #: retained lint findings (oldest dropped beyond this)
     _LINT_LOG_LIMIT = 500
 
-    def record_lint(self, diagnostics) -> None:
+    def record_lint(self, diagnostics, source: str = "") -> None:
         """Record plan-time lint findings: one message per finding plus
-        a row in ``sys_dm_verify_results``."""
+        a row in ``sys_dm_verify_results``. ``source`` names the
+        originating statement or object path (a normalised SQL prefix,
+        a file:line, …) so a DMV row can be traced back to what was
+        being planned."""
         for d in diagnostics:
             self.messages.append(str(d))
             self._lint_log.append(
-                ("plan", d.obj, d.rule, d.severity, d.message)
+                ("plan", d.obj, d.rule, d.severity, d.message, source)
             )
         if len(self._lint_log) > self._LINT_LOG_LIMIT:
             del self._lint_log[: -self._LINT_LOG_LIMIT]
 
-    def lint_rows(self) -> List[Tuple[str, str, str, str, str]]:
+    def lint_rows(self) -> List[Tuple[str, str, str, str, str, str]]:
         return list(self._lint_log)
 
     @property
@@ -494,11 +504,18 @@ class Database:
         a row; only schema and session statements (CREATE/DROP/
         TRUNCATE/SET) apply, so later statements bind against the
         schema the script builds. Returns the number of statements
-        checked."""
+        checked. The plan sanitizer is force-armed for the duration so
+        ``repro-genomics lint``/``sanitize`` always get PLAN-* coverage
+        regardless of the session knob."""
         self.messages = []
         statements = parse_sql(sql)
-        for stmt in statements:
-            self._check_statement(stmt)
+        was_verifying = self.plan_verify
+        self.plan_verify = True
+        try:
+            for stmt in statements:
+                self._check_statement(stmt)
+        finally:
+            self.plan_verify = was_verifying
         return len(statements)
 
     def _check_statement(self, stmt) -> None:
@@ -583,6 +600,8 @@ class Database:
                     raise EngineError("SET MAX_DOP expects n >= 0")
                 # SQL Server semantics: 0 means "let the server decide"
                 self.max_dop = stmt.value or None
+            elif stmt.option == "PLAN_VERIFY":
+                self.plan_verify = bool(stmt.value)
             elif stmt.option == "SLOW_QUERY_THRESHOLD":
                 if stmt.value < 0:
                     raise EngineError(

@@ -232,6 +232,29 @@ class PhysicalOperator:
 
     # -- helpers ------------------------------------------------------------------
 
+    @property
+    def node_label(self) -> str:
+        """Short operator name: the first line of the explain label with
+        the per-node detail tail stripped (what diagnostics and traces
+        name this node by). Distinct from the ``label`` attribute some
+        operators carry for their predicate/projection description."""
+        try:
+            text, _children = self.explain_node()
+        except Exception:  # noqa: BLE001 - labels must never raise
+            return type(self).__name__
+        text = text.splitlines()[0] if text else ""
+        return text.split("  (")[0].strip() or type(self).__name__
+
+    def walk(self, path: str = "") -> Iterator[Tuple[str, "PhysicalOperator"]]:
+        """Yield ``(operator path, node)`` pairs over this subtree, root
+        first. The path joins :attr:`node_label` values with ``/`` — the
+        stable operator address the plan sanitizer reports findings
+        against."""
+        here = f"{path}/{self.node_label}" if path else self.node_label
+        yield here, self
+        for child in self.children():
+            yield from child.walk(here)
+
     def column_index(self, name: str) -> int:
         """Resolve a bare or qualified column name to an output index."""
         lowered = name.lower()

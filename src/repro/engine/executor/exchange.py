@@ -35,10 +35,16 @@ from .operators import ColumnStoreScan, TableScan
 
 #: aggregates whose merge is order-insensitive and exact for any input
 #: type (counts are integers, MIN/MAX pick, sets union)
-_ORDER_SAFE = ("count", "count_big", "min", "max")
+ORDER_SAFE_AGGREGATES = ("count", "count_big", "min", "max")
 #: aggregates exact only over integer arguments when partial sums from
-#: *range* partitions are re-added at merge time
-_SUM_LIKE = ("sum", "avg")
+#: *range* partitions are re-added at merge time (the float-reassociation
+#: gate the plan sanitizer re-proves independently, rule
+#: PLAN-EXCHANGE-FLOAT-SUM)
+SUM_LIKE_AGGREGATES = ("sum", "avg")
+
+# historical private names, kept for callers that grew up with them
+_ORDER_SAFE = ORDER_SAFE_AGGREGATES
+_SUM_LIKE = SUM_LIKE_AGGREGATES
 
 
 def rebuild_shippable_specs(
@@ -74,21 +80,32 @@ def rebuild_shippable_specs(
     return shipped
 
 
-def _scan_schema_position(scan, output_index: int) -> int:
-    """Map a scan output position back to the table schema position."""
+def scan_schema_position(scan, output_index: int) -> int:
+    """Map a scan output position back to the table schema position.
+
+    Public because the plan sanitizer cross-checks this mapping against
+    an independent by-name resolution (a corrupted position map is how
+    the float-reassociation gate gets defeated)."""
     if isinstance(scan, ColumnStoreScan):
         return scan.out_positions[output_index]
     projection = scan.projection
     return projection[output_index] if projection is not None else output_index
 
 
-def _offloadable_scan(child) -> Optional[Any]:
+_scan_schema_position = scan_schema_position
+
+
+def offloadable_scan(child) -> Optional[Any]:
     """The child scan when it is a bare partitionable table scan."""
     if isinstance(child, (TableScan, ColumnStoreScan)):
         store = getattr(child.table, "store", None)
         if store is not None and hasattr(store, "partition_payloads"):
             return child
     return None
+
+
+#: back-compat alias, kept for external callers of the old private name
+_offloadable_scan = offloadable_scan
 
 
 def _has_udt_columns(schema) -> bool:
@@ -106,7 +123,7 @@ def scan_offload_blocker(
     when phrasing EXPLAIN notes."""
     if group_indexes is None:
         return "group keys are computed expressions"
-    scan = _offloadable_scan(child)
+    scan = offloadable_scan(child)
     if scan is None:
         return "input is not a partitionable table scan"
     if _has_udt_columns(scan.table.schema):
@@ -153,7 +170,7 @@ def build_scan_tasks(
     """Partition the child scan's storage into ``dop`` disjoint slices
     and wrap each as a ``partial_agg`` worker task. None when the store
     declines to partition (nothing stored yet, or engine opt-out)."""
-    scan = _offloadable_scan(child)
+    scan = offloadable_scan(child)
     if scan is None:
         return None
     store = scan.table.store

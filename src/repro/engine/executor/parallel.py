@@ -53,7 +53,6 @@ from ..workers import WorkerPool, WorkerPoolError
 from .aggregates import AggregateSpec, make_batch_accumulator
 from .base import PhysicalOperator
 from .exchange import (
-    _offloadable_scan,
     build_scan_tasks,
     rebuild_shippable_specs,
     rows_offload_blocker,
@@ -169,6 +168,14 @@ class ParallelHashAggregate(PhysicalOperator):
     be parallel-safe (mergeable partial states). Pass the database's
     ``pool`` to enable real worker-process execution; without one the
     operator runs the simulated tier (how unit tests drive it).
+
+    The exchange eligibility this operator re-derives at runtime
+    (:func:`.exchange.scan_offload_blocker` /
+    :func:`.exchange.rows_offload_blocker`) is proven statically by
+    the plan sanitizer before execution — rules
+    ``PLAN-EXCHANGE-MERGE`` / ``-DOP`` / ``-FLOAT-SUM`` / ``-SILENT``
+    in :mod:`repro.engine.verify.plan_sanitizer` — and this module is
+    one of the fork-safety analyser's default targets.
     """
 
     blocking = True

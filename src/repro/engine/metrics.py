@@ -548,6 +548,10 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
                 ("rule", varchar_type(64)),
                 ("severity", varchar_type(16)),
                 ("message", varchar_type(-1)),
+                # the originating statement (normalised SQL prefix) for
+                # plan-level findings, or the registered object path for
+                # UDx-level findings — so the two are distinguishable
+                ("source", varchar_type(-1)),
             ],
         ),
         verify_rows,

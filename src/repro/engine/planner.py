@@ -185,15 +185,25 @@ class Planner:
         #: verifier/optimizer notes for the plan being built (EXPLAIN
         #: renders them as ``note:`` lines under the operator tree)
         self._notes: List[str] = []
+        #: normalised SQL of the statement being planned — recorded as
+        #: the ``source`` of every lint/sanitizer finding it produces
+        self._current_source = ""
+        #: rule IDs suppressed by ``-- lint: ignore RULE`` pragmas in
+        #: the statement being planned
+        self._suppressed: frozenset = frozenset()
 
     # ------------------------------------------------------------------ SELECT
 
     def plan_select(self, stmt: ast.SelectStmt) -> PhysicalOperator:
         from . import tracing
+        from .verify.sql_lint import parse_suppressions
 
         with tracing.span("plan statement", category="plan"):
             logical = lower_select(stmt, self.database.catalog)
             self._notes = []
+            source_sql = getattr(stmt, "source_sql", "") or ""
+            self._current_source = " ".join(source_sql.split())[:200]
+            self._suppressed = parse_suppressions(source_sql)
             apply_rewrites(
                 logical, self.database.catalog, self.cost, self._notes
             )
@@ -202,6 +212,7 @@ class Planner:
             self._select_execution_modes(op)
             self.cost.annotate(op)
             op.plan_notes = list(self._notes)
+            self._sanitize(op)
         return op
 
     def _select_execution_modes(self, op: PhysicalOperator) -> None:
@@ -224,15 +235,46 @@ class Planner:
     def _lint(self, logical: LogicalPlan) -> None:
         from .verify.sql_lint import lint_plan
 
-        diagnostics = lint_plan(logical, self.database.catalog)
+        diagnostics = [
+            d
+            for d in lint_plan(logical, self.database.catalog)
+            if d.rule not in self._suppressed
+        ]
         for d in diagnostics:
             self._notes.append(d.message)
         self._record_lint(diagnostics)
 
+    def _sanitize(self, op: PhysicalOperator) -> None:
+        """Run the plan sanitizer (PLAN-* rules) over the finished
+        physical plan when the session's ``SET PLAN_VERIFY ON`` knob is
+        armed. Runs *after* ``plan_notes`` is attached so silence
+        checks (PLAN-EXCHANGE-SILENT) can see the exchange-tier notes
+        the planner just phrased; findings then append their own
+        ``note:`` lines and land in ``sys_dm_verify_results``."""
+        if not getattr(self.database, "plan_verify", False):
+            return
+        from .verify.plan_sanitizer import sanitize_plan
+
+        findings = [
+            d
+            for d in sanitize_plan(op, self.database)
+            if d.rule not in self._suppressed
+        ]
+        if not findings:
+            return
+        op.plan_notes = list(op.plan_notes) + [
+            f"{d.severity} [{d.rule}] {d.obj}: {d.message}"
+            for d in findings
+        ]
+        self._record_lint(findings)
+
     def _record_lint(self, diagnostics) -> None:
+        diagnostics = [
+            d for d in diagnostics if d.rule not in self._suppressed
+        ]
         record = getattr(self.database, "record_lint", None)
         if record is not None and diagnostics:
-            record(diagnostics)
+            record(diagnostics, source=self._current_source)
 
     def _note_exchange_tier(self, pool, op, specs, group_indexes) -> None:
         """EXPLAIN note when a parallel plan cannot run the partitioned-

@@ -131,6 +131,11 @@ class Parser:
             # each statement carries its own SQL text, so the metrics
             # registry can key execution stats by statement
             statement.source_sql = self._text[start:end].rstrip().rstrip(";")
+            inner = getattr(statement, "select", None)
+            if inner is not None:
+                # EXPLAIN wraps a select; the planner sees the inner
+                # statement, so lint pragmas must travel with it
+                inner.source_sql = statement.source_sql
             statements.append(statement)
             while self._accept_punct(";"):
                 pass
@@ -188,10 +193,13 @@ class Parser:
             enabled = self._expect_keyword("ON", "OFF").value == "ON"
             return ast.SetStatisticsStmt(option, enabled)
         name = self._expect_ident().upper()
+        if name == "PLAN_VERIFY":
+            enabled = self._expect_keyword("ON", "OFF").value == "ON"
+            return ast.SetOptionStmt(name, int(enabled))
         if name not in ("MAX_DOP", "SLOW_QUERY_THRESHOLD"):
             raise self._error(
-                "expected STATISTICS, MAX_DOP, or SLOW_QUERY_THRESHOLD "
-                "after SET"
+                "expected STATISTICS, MAX_DOP, PLAN_VERIFY, or "
+                "SLOW_QUERY_THRESHOLD after SET"
             )
         token = self._peek()
         if token.type != NUMBER:

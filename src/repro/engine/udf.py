@@ -246,11 +246,19 @@ class FunctionLibrary:
     # -- verification results -------------------------------------------------------
 
     def verification_rows(self) -> list:
-        """Flattened verifier findings for ``sys_dm_verify_results``."""
+        """Flattened verifier findings for ``sys_dm_verify_results``.
+
+        The trailing ``source`` column names the registered object path
+        (``KIND:name``) so UDx-level rows stay distinguishable from the
+        plan-level rows the database appends (whose source is the
+        originating statement's SQL)."""
         rows = []
-        for (kind, _key), diagnostics in self._verification.items():
+        for (kind, key), diagnostics in self._verification.items():
             for d in diagnostics:
-                rows.append((kind, d.obj, d.rule, d.severity, d.message))
+                rows.append(
+                    (kind, d.obj, d.rule, d.severity, d.message,
+                     f"{kind}:{key}")
+                )
         return rows
 
     def diagnostics_for(self, name: str) -> list:

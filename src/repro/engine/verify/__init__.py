@@ -15,11 +15,20 @@ registration time and at plan time:
   arity, streaming TVF ``create``, ``fill_row``/schema arity, UDT
   round-trip probes);
 - :mod:`.sql_lint` — semantic lint over the logical plan IR (static
-  type checks, SARGability, cartesian products, unused projections).
+  type checks, SARGability, cartesian products, unused projections),
+  with stable ``LINT-*`` rule IDs and suppression pragmas;
+- :mod:`.plan_sanitizer` — the typed physical-plan verifier: walks a
+  finished physical operator tree and proves, per operator, the
+  invariants the executor assumes (``PLAN-*`` rules);
+- :mod:`.parallel_safety` — fork/pickle-safety static analysis of the
+  parallel engine's own source (``FORK-*`` rules);
+- :mod:`.plan_corpus` — the golden plan corpus the sanitizer must pass
+  with zero diagnostics (Figure 9/10 shapes + the differential-suite
+  shapes across storage × mode × DOP).
 
 Diagnostics surface through ``db.messages``, the
 ``sys_dm_verify_results`` system view, EXPLAIN plan notes, and the
-``repro-genomics lint`` CLI command.
+``repro-genomics lint`` / ``repro-genomics sanitize`` CLI commands.
 """
 
 from __future__ import annotations
@@ -38,7 +47,14 @@ from .contracts import (
     verify_uda,
     verify_udt,
 )
-from .sql_lint import lint_plan
+from .sql_lint import RULES as LINT_RULES, lint_plan, parse_suppressions
+from .plan_sanitizer import RULES as PLAN_RULES, sanitize_plan
+from .parallel_safety import (
+    RULES as FORK_RULES,
+    analyze_fork_safety,
+    analyze_path,
+    analyze_source,
+)
 
 __all__ = [
     "PERMISSION_SETS",
@@ -52,4 +68,12 @@ __all__ = [
     "verify_uda",
     "verify_udt",
     "lint_plan",
+    "parse_suppressions",
+    "sanitize_plan",
+    "analyze_fork_safety",
+    "analyze_path",
+    "analyze_source",
+    "LINT_RULES",
+    "PLAN_RULES",
+    "FORK_RULES",
 ]

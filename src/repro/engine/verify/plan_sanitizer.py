@@ -1,0 +1,568 @@
+"""Static sanitizer for physical plans: prove what the executor assumes.
+
+The executor trusts every plan the planner hands it — schema flow
+through bridges, positional key indexes, exchange-offload eligibility,
+columnstore pushdown shapes. Each of those is an *invariant the planner
+is supposed to establish*, silently assumed downstream. This module
+re-proves them over a finished physical operator tree, independently of
+the code that established them, and reports violations as structured
+diagnostics with stable ``PLAN-*`` rule IDs and the operator path the
+finding anchors to.
+
+Invariant catalog (the rule IDs are stable; tests and CI grep them):
+
+- **PLAN-ARITY** — a node's output arity disagrees with its own
+  projection/aggregate descriptors or with what its parent consumes
+  (``Project`` fns vs columns, join output vs left+right, aggregate
+  output vs groups+aggregates).
+- **PLAN-SCHEMA** — output column *names* break the flow invariant:
+  pass-through operators must preserve the child's schema, scans must
+  agree with the table schema through their projection/position maps.
+- **PLAN-MODE** — row↔batch mode-transition legality: ``batch``
+  execution mode on a non-batch-capable operator, an unknown mode tag,
+  or a batch-mode node inside a session forced to row mode.
+- **PLAN-FUSION** — a ``FusedFilterProject`` where the planner may not
+  fuse: no batch predicate, or fusion under a forced-row session.
+- **PLAN-KEY-RANGE** — positional key/argument indexes out of range:
+  hash-join key indexes vs child arity, aggregate ``group_indexes`` and
+  ``arg_index`` vs input arity, scan projections vs table schema.
+- **PLAN-EXCHANGE-MERGE** — a non-merge-safe aggregate (UDA without a
+  verified ``merge``) inside a parallel exchange.
+- **PLAN-EXCHANGE-DOP** — a parallel exchange with a nonsensical
+  degree of parallelism.
+- **PLAN-EXCHANGE-FLOAT-SUM** — the float-reassociation gate defeated:
+  a SUM/AVG over a non-integer column would take the range-partitioned
+  scan tier (whose coordinator merge re-adds partial sums).
+- **PLAN-EXCHANGE-SILENT** — a parallel exchange that cannot offload
+  (unshippable descriptors or a scan blocker) with no ``note:`` line
+  explaining the fallback: a serial fallback must never be silent.
+- **PLAN-PUSHDOWN-OP** — a pushed predicate whose comparison operator
+  the segment evaluator does not implement.
+- **PLAN-PUSHDOWN-RANGE** — a pushed predicate addressing a column
+  position outside the table schema.
+- **PLAN-PUSHDOWN-SHAPE** — a pushed predicate whose literal payload
+  has the wrong shape for its operator (``BETWEEN`` without a
+  ``(lo, hi)`` pair, ``IN`` without a container, null tests with a
+  value).
+- **PLAN-PUSHDOWN-ENC** — a pushed predicate over a sealed segment
+  whose encoding the encoded-vector evaluator cannot decode.
+
+Run it directly via :func:`sanitize_plan`, per-statement via
+``SET PLAN_VERIFY ON`` (or ``REPRO_PLAN_VERIFY=1``), or over the golden
+corpus via ``repro-genomics sanitize``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .udx_verifier import Diagnostic
+
+#: stable rule catalog: rule id -> (default severity, summary)
+RULES = {
+    "PLAN-ARITY": ("error", "output arity disagrees with descriptors"),
+    "PLAN-SCHEMA": ("error", "column names break the schema-flow invariant"),
+    "PLAN-MODE": ("error", "illegal row/batch execution-mode transition"),
+    "PLAN-FUSION": ("error", "filter/project fusion where fusing is illegal"),
+    "PLAN-KEY-RANGE": ("error", "positional key/argument index out of range"),
+    "PLAN-EXCHANGE-MERGE": (
+        "error",
+        "non-merge-safe aggregate inside a parallel exchange",
+    ),
+    "PLAN-EXCHANGE-DOP": ("error", "parallel exchange with invalid DOP"),
+    "PLAN-EXCHANGE-FLOAT-SUM": (
+        "error",
+        "float SUM/AVG admitted to the reassociating scan tier",
+    ),
+    "PLAN-EXCHANGE-SILENT": (
+        "warning",
+        "exchange fallback carries no explanatory plan note",
+    ),
+    "PLAN-PUSHDOWN-OP": ("error", "pushed predicate with unsupported op"),
+    "PLAN-PUSHDOWN-RANGE": (
+        "error",
+        "pushed predicate column position out of schema range",
+    ),
+    "PLAN-PUSHDOWN-SHAPE": (
+        "error",
+        "pushed predicate literal shape wrong for its op",
+    ),
+    "PLAN-PUSHDOWN-ENC": (
+        "error",
+        "pushed predicate over an undecodable segment encoding",
+    ),
+}
+
+#: operators evaluable on encoded vectors / zone maps (mirrors
+#: ``PushedPredicate.matcher``; kept literal so a drifting matcher is a
+#: *sanitizer* test failure, not a silent widening)
+_PUSHDOWN_OPS = frozenset(
+    ("=", "<>", "<", "<=", ">", ">=", "in", "between", "isnull", "notnull")
+)
+
+#: segment encodings the encoded evaluator can decode
+_KNOWN_ENCODINGS = frozenset(("plain", "dict", "rle", "bitpack"))
+
+
+def _bare(name: str) -> str:
+    """Strip an alias qualifier off an output column name."""
+    return name.rsplit(".", 1)[-1].lower()
+
+
+def _node_label(op) -> str:
+    label = getattr(op, "node_label", None)
+    if isinstance(label, str) and label:
+        return label
+    return type(op).__name__
+
+
+def walk_plan(op, path: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield ``(operator path, node)`` pairs, root first (delegates to
+    :meth:`PhysicalOperator.walk` when the node provides it)."""
+    walk = getattr(op, "walk", None)
+    if walk is not None:
+        yield from walk(path)
+        return
+    here = f"{path}/{_node_label(op)}" if path else _node_label(op)
+    yield here, op
+    for child in op.children():
+        yield from walk_plan(child, here)
+
+
+class _Findings:
+    """Diagnostic accumulator bound to one plan walk."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def add(self, rule: str, path: str, message: str,
+            severity: Optional[str] = None) -> None:
+        default_severity, _summary = RULES[rule]
+        self.diagnostics.append(
+            Diagnostic(rule, severity or default_severity, path, message)
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-family checks
+# ---------------------------------------------------------------------------
+
+
+def _check_mode(node, path: str, out: _Findings, forced_row: bool) -> None:
+    mode = getattr(node, "execution_mode", "row")
+    if mode not in ("row", "batch"):
+        out.add(
+            "PLAN-MODE", path, f"unknown execution mode {mode!r}"
+        )
+        return
+    if mode == "batch" and not getattr(node, "batch_capable", False):
+        out.add(
+            "PLAN-MODE",
+            path,
+            "batch execution mode on a row-only operator — the iterator "
+            "bridge cannot drive execute_batch() here",
+        )
+    if mode == "batch" and forced_row:
+        out.add(
+            "PLAN-MODE",
+            path,
+            "batch-mode node under a session forced to row mode",
+        )
+
+
+def _check_projection_ops(node, path: str, out: _Findings,
+                          forced_row: bool = False) -> None:
+    from ..executor.operators import FusedFilterProject, Project
+
+    if isinstance(node, (Project, FusedFilterProject)):
+        if len(node.fns) != len(node.columns):
+            out.add(
+                "PLAN-ARITY",
+                path,
+                f"projection computes {len(node.fns)} expressions but "
+                f"outputs {len(node.columns)} columns",
+            )
+        batch_fns = getattr(node, "batch_fns", None)
+        if batch_fns and len(batch_fns) != len(node.fns):
+            out.add(
+                "PLAN-ARITY",
+                path,
+                f"projection has {len(node.fns)} row compilations but "
+                f"{len(batch_fns)} batch compilations",
+            )
+    if isinstance(node, FusedFilterProject):
+        if node.batch_predicate is None:
+            out.add(
+                "PLAN-FUSION",
+                path,
+                "fused filter/project without a batch predicate — fusion "
+                "exists only to serve the batch pipeline",
+            )
+        if forced_row:
+            out.add(
+                "PLAN-FUSION",
+                path,
+                "fused filter/project planned under a session forced to "
+                "row mode — the planner may only fuse for batch pipelines",
+            )
+
+
+def _check_passthrough(node, path: str, out: _Findings) -> None:
+    """Pass-through operators must preserve the child schema exactly."""
+    from ..executor.operators import Distinct, Filter, Sort, Top
+
+    if isinstance(node, (Filter, Sort, Top, Distinct)):
+        child = node.child
+        if list(node.columns) != list(child.columns):
+            out.add(
+                "PLAN-SCHEMA",
+                path,
+                f"{type(node).__name__} outputs {node.columns} but its "
+                f"child produces {child.columns} — pass-through operators "
+                "must not reshape the row",
+            )
+
+
+def _check_joins(node, path: str, out: _Findings) -> None:
+    from ..executor.joins import HashJoin, MergeJoin, NestedLoopJoin
+
+    if not isinstance(node, (HashJoin, MergeJoin, NestedLoopJoin)):
+        return
+    left, right = node.left, node.right
+    expected = len(left.columns) + len(right.columns)
+    if len(node.columns) != expected:
+        out.add(
+            "PLAN-ARITY",
+            path,
+            f"join outputs {len(node.columns)} columns but its inputs "
+            f"produce {expected}",
+        )
+    elif list(node.columns) != list(left.columns) + list(right.columns):
+        out.add(
+            "PLAN-SCHEMA",
+            path,
+            "join output is not the concatenation of its input schemas",
+        )
+    if isinstance(node, HashJoin):
+        for side, indexes, child in (
+            ("left", node.left_key_indexes, left),
+            ("right", node.right_key_indexes, right),
+        ):
+            if indexes is None:
+                continue
+            for index in indexes:
+                if not 0 <= index < len(child.columns):
+                    out.add(
+                        "PLAN-KEY-RANGE",
+                        path,
+                        f"{side} join key index {index} outside the "
+                        f"{side} input's {len(child.columns)} columns",
+                    )
+
+
+def _check_aggregates(node, path: str, out: _Findings) -> None:
+    from ..executor.operators import HashAggregate, StreamAggregate
+    from ..executor.parallel import ParallelHashAggregate, ParallelMergeUda
+
+    if isinstance(node, (HashAggregate, ParallelHashAggregate)):
+        group_count = len(node.group_fns)
+        agg_count = len(node.aggregates)
+        specs = node.aggregates
+        group_indexes = node.group_indexes
+    elif isinstance(node, StreamAggregate):
+        group_count = len(node.group_fns)
+        agg_count = len(node.aggregates)
+        specs = node.aggregates
+        group_indexes = None
+    elif isinstance(node, ParallelMergeUda):
+        group_count = len(node.group_fns)
+        agg_count = 1
+        specs = [node.spec]
+        group_indexes = None
+    else:
+        return
+    child = node.child
+    if len(node.columns) != group_count + agg_count:
+        out.add(
+            "PLAN-ARITY",
+            path,
+            f"aggregate outputs {len(node.columns)} columns for "
+            f"{group_count} group keys + {agg_count} aggregates",
+        )
+    if group_indexes is not None:
+        if len(group_indexes) != group_count:
+            out.add(
+                "PLAN-KEY-RANGE",
+                path,
+                f"{len(group_indexes)} positional group keys for "
+                f"{group_count} group expressions",
+            )
+        for index in group_indexes:
+            if not 0 <= index < len(child.columns):
+                out.add(
+                    "PLAN-KEY-RANGE",
+                    path,
+                    f"group key index {index} outside the input's "
+                    f"{len(child.columns)} columns",
+                )
+    for spec in specs:
+        arg_index = getattr(spec, "arg_index", None)
+        if arg_index is not None and not 0 <= arg_index < len(child.columns):
+            out.add(
+                "PLAN-KEY-RANGE",
+                path,
+                f"{spec.describe()} argument index {arg_index} outside "
+                f"the input's {len(child.columns)} columns",
+            )
+
+
+def _scan_schema_type(scan, output_index: int):
+    """Independently resolve a scan output position to its schema type —
+    *by name*, not through the scan's own position maps, so a corrupted
+    map is caught rather than trusted. None when the node is not a
+    table-backed scan or the position is out of range (those are other
+    rules' findings)."""
+    table = getattr(scan, "table", None)
+    columns = getattr(scan, "columns", ())
+    if table is None or not 0 <= output_index < len(columns):
+        return None
+    name = _bare(columns[output_index])
+    for column in table.schema.columns:
+        if column.name.lower() == name:
+            return column.sql_type
+    return None
+
+
+def _check_exchange(node, path: str, out: _Findings,
+                    plan_notes: Sequence[str]) -> None:
+    from ..executor.exchange import (
+        rebuild_shippable_specs,
+        rows_offload_blocker,
+        scan_offload_blocker,
+    )
+    from ..executor.parallel import ParallelHashAggregate
+
+    if not isinstance(node, ParallelHashAggregate):
+        return
+    if not isinstance(node.dop, int) or node.dop < 1:
+        out.add(
+            "PLAN-EXCHANGE-DOP", path, f"degree of parallelism {node.dop!r}"
+        )
+    for spec in node.aggregates:
+        if not spec.parallel_safe:
+            out.add(
+                "PLAN-EXCHANGE-MERGE",
+                path,
+                f"{spec.describe()} has no verified merge — its partial "
+                "states cannot be recombined by the gather",
+            )
+    if node.dop <= 1:
+        return
+    ship = rebuild_shippable_specs(node.aggregates)
+    scan_blocker = (
+        scan_offload_blocker(node.child, node.aggregates, node.group_indexes)
+        if ship is not None
+        else "descriptors cannot ship"
+    )
+    if scan_blocker is None:
+        # the runtime gate would admit this plan to the range-partitioned
+        # scan tier; re-prove the float-reassociation gate independently
+        for spec in node.aggregates:
+            if spec.uda_class is not None or spec.distinct or spec.star:
+                continue
+            if spec.name not in ("sum", "avg") or spec.arg_index is None:
+                continue
+            sql_type = _scan_schema_type(node.child, spec.arg_index)
+            if sql_type is not None and not sql_type.is_integer:
+                out.add(
+                    "PLAN-EXCHANGE-FLOAT-SUM",
+                    path,
+                    f"{spec.describe()} over non-integer column "
+                    f"{node.child.columns[spec.arg_index]!r} would merge "
+                    "range-partition partials (float addition "
+                    "reassociates) — the offload gate has been defeated",
+                )
+    else:
+        rows_blocker = (
+            rows_offload_blocker(node.aggregates, node.group_indexes)
+            if ship is not None
+            else "descriptors cannot ship"
+        )
+        if rows_blocker is not None and not any(
+            "exchange will" in note for note in plan_notes
+        ):
+            out.add(
+                "PLAN-EXCHANGE-SILENT",
+                path,
+                f"exchange cannot offload ({rows_blocker}) and the plan "
+                "carries no note: line saying so — a serial fallback "
+                "must never be silent",
+            )
+
+
+def _check_scans(node, path: str, out: _Findings) -> None:
+    from ..executor.operators import ColumnStoreScan, TableScan
+
+    if isinstance(node, TableScan):
+        schema_columns = node.table.schema.columns
+        projection = node.projection
+        if projection is not None:
+            if len(projection) != len(node.columns):
+                out.add(
+                    "PLAN-ARITY",
+                    path,
+                    f"scan projects {len(projection)} schema positions "
+                    f"into {len(node.columns)} output columns",
+                )
+                return
+            for out_index, schema_index in enumerate(projection):
+                if not 0 <= schema_index < len(schema_columns):
+                    out.add(
+                        "PLAN-KEY-RANGE",
+                        path,
+                        f"projection position {schema_index} outside the "
+                        f"table's {len(schema_columns)} columns",
+                    )
+                elif (
+                    _bare(node.columns[out_index])
+                    != schema_columns[schema_index].name.lower()
+                ):
+                    out.add(
+                        "PLAN-SCHEMA",
+                        path,
+                        f"output column {node.columns[out_index]!r} maps "
+                        f"to schema position {schema_index} "
+                        f"({schema_columns[schema_index].name!r})",
+                    )
+        return
+    if isinstance(node, ColumnStoreScan):
+        schema_columns = node.table.schema.columns
+        positions = node.out_positions
+        if len(positions) != len(node.columns):
+            out.add(
+                "PLAN-ARITY",
+                path,
+                f"column scan reads {len(positions)} positions into "
+                f"{len(node.columns)} output columns",
+            )
+            return
+        for out_index, schema_index in enumerate(positions):
+            if not 0 <= schema_index < len(schema_columns):
+                out.add(
+                    "PLAN-KEY-RANGE",
+                    path,
+                    f"segment position {schema_index} outside the "
+                    f"table's {len(schema_columns)} columns",
+                )
+            elif (
+                _bare(node.columns[out_index])
+                != schema_columns[schema_index].name.lower()
+            ):
+                out.add(
+                    "PLAN-SCHEMA",
+                    path,
+                    f"output column {node.columns[out_index]!r} maps to "
+                    f"segment position {schema_index} "
+                    f"({schema_columns[schema_index].name!r})",
+                )
+        _check_pushdown(node, path, out)
+
+
+def _check_pushdown(scan, path: str, out: _Findings) -> None:
+    """Pushed predicates must be evaluable against the segments that
+    actually exist — op, position, literal shape, and encoding."""
+    schema_columns = scan.table.schema.columns
+    predicates = list(getattr(scan, "predicates", ()))
+    for pred in predicates:
+        label = pred.label or f"{pred.op} predicate"
+        if pred.op not in _PUSHDOWN_OPS:
+            out.add(
+                "PLAN-PUSHDOWN-OP",
+                path,
+                f"pushed predicate {label!r} uses op {pred.op!r} which "
+                "the segment evaluator does not implement",
+            )
+            continue
+        if not 0 <= pred.col_index < len(schema_columns):
+            out.add(
+                "PLAN-PUSHDOWN-RANGE",
+                path,
+                f"pushed predicate {label!r} addresses column position "
+                f"{pred.col_index} outside the table's "
+                f"{len(schema_columns)} columns",
+            )
+            continue
+        if pred.op == "between":
+            if not (
+                isinstance(pred.value, (tuple, list)) and len(pred.value) == 2
+            ):
+                out.add(
+                    "PLAN-PUSHDOWN-SHAPE",
+                    path,
+                    f"BETWEEN predicate {label!r} needs a (lo, hi) pair, "
+                    f"got {pred.value!r}",
+                )
+        elif pred.op == "in":
+            if not hasattr(pred.value, "__contains__"):
+                out.add(
+                    "PLAN-PUSHDOWN-SHAPE",
+                    path,
+                    f"IN predicate {label!r} needs a container, got "
+                    f"{pred.value!r}",
+                )
+        elif pred.op in ("isnull", "notnull"):
+            if pred.value is not None:
+                out.add(
+                    "PLAN-PUSHDOWN-SHAPE",
+                    path,
+                    f"null-test predicate {label!r} carries a literal "
+                    f"{pred.value!r}",
+                )
+    store = getattr(scan.table, "store", None)
+    segments = getattr(store, "segments", None)
+    if not predicates or not segments:
+        return
+    for segment_id, segment in enumerate(segments):
+        for pred in predicates:
+            if not 0 <= pred.col_index < len(segment.columns):
+                continue  # reported above against the schema
+            encoding = segment.columns[pred.col_index].encoding
+            if encoding not in _KNOWN_ENCODINGS:
+                out.add(
+                    "PLAN-PUSHDOWN-ENC",
+                    path,
+                    f"segment {segment_id} column {pred.col_index} holds "
+                    f"encoding {encoding!r} which the encoded evaluator "
+                    "cannot decode",
+                )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def sanitize_plan(root, database=None) -> List[Diagnostic]:
+    """Walk one physical plan and prove every executor invariant.
+
+    Returns structured diagnostics (stable ``PLAN-*`` rule IDs, operator
+    path as the object); an empty list is the proof that the plan is
+    clean. Never raises for a malformed plan — a verifier that crashes
+    on the input it exists to reject is useless.
+    """
+    out = _Findings()
+    forced_row = (
+        getattr(database, "execution_mode", "auto") == "row"
+        if database is not None
+        else False
+    )
+    plan_notes = list(getattr(root, "plan_notes", ()) or ())
+    for path, node in walk_plan(root):
+        _check_mode(node, path, out, forced_row)
+        _check_projection_ops(node, path, out, forced_row)
+        _check_passthrough(node, path, out)
+        _check_joins(node, path, out)
+        _check_aggregates(node, path, out)
+        _check_exchange(node, path, out, plan_notes)
+        _check_scans(node, path, out)
+    return out.diagnostics

@@ -23,10 +23,23 @@ Findings are :class:`~.udx_verifier.Diagnostic` objects; the planner
 attaches them to the physical plan (EXPLAIN notes), the database
 records them (``db.messages`` + ``sys_dm_verify_results``), and the
 ``repro-genomics lint`` CLI prints them.
+
+Every rule has a stable ID and severity in :data:`RULES` (the same
+``FAMILY-NAME`` shape as the plan sanitizer's ``PLAN-*`` and the fork
+analyzer's ``FORK-*`` catalogs), and any rule can be suppressed for one
+statement — or a whole script — with a pragma comment::
+
+    -- lint: ignore LINT-SARG
+    -- lint: ignore LINT-TYPE, LINT-CARTESIAN
+
+The planner parses pragmas out of each statement's raw SQL (comments
+survive in ``source_sql``); the CLI additionally honours file-level
+pragmas anywhere in a ``.sql`` script.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Set
 
 from ..expressions import (
@@ -47,6 +60,57 @@ from ..optimizer.logical import (
     LogicalPlan,
 )
 from .udx_verifier import Diagnostic
+
+#: the lint rule catalog: stable rule ID → (severity, summary).
+#: IDs never change meaning once shipped; suppression pragmas and the
+#: DMV key on them.
+RULES: Dict[str, tuple] = {
+    "LINT-TYPE": (
+        "warning",
+        "column/literal comparison mixes incompatible kinds",
+    ),
+    "LINT-SARG": (
+        "warning",
+        "function-wrapped indexed column defeats a seek",
+    ),
+    "LINT-CARTESIAN": (
+        "warning",
+        "join without an equality predicate (cartesian product)",
+    ),
+    "LINT-UNUSED-COLUMN": (
+        "warning",
+        "derived table computes columns the outer query never reads",
+    ),
+    # emitted by the planner when a UDA without a verified merge forces
+    # the aggregate serial despite a MAXDOP hint
+    "LINT-SERIAL-AGG": (
+        "warning",
+        "unverified UDA merge forces a serial aggregate",
+    ),
+    # emitted by the CLI lint driver, not the plan-time linter
+    "LINT-LOAD": ("error", "extension module failed to import"),
+    "LINT-SQL": ("error", "statement failed to parse or bind"),
+}
+
+_SUPPRESS_PRAGMA = re.compile(
+    r"--\s*lint:\s*ignore\s+([A-Z][A-Z0-9-]*(?:\s*,\s*[A-Z][A-Z0-9-]*)*)",
+    re.IGNORECASE,
+)
+
+
+def parse_suppressions(sql: str) -> frozenset:
+    """Rule IDs named by ``-- lint: ignore RULE[, RULE…]`` pragmas in a
+    SQL text (a single statement's ``source_sql`` or a whole script).
+    Unknown rule IDs are kept — suppressing a rule that does not exist
+    yet is harmless and keeps pragmas forward-compatible."""
+    suppressed: Set[str] = set()
+    for match in _SUPPRESS_PRAGMA.finditer(sql or ""):
+        for rule in match.group(1).split(","):
+            rule = rule.strip().upper()
+            if rule:
+                suppressed.add(rule)
+    return frozenset(suppressed)
+
 
 #: SqlType.kind buckets for the static comparison check
 _NUMERIC_KINDS = {"INT", "BIGINT", "SMALLINT", "TINYINT", "BIT", "FLOAT"}

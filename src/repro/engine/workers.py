@@ -99,6 +99,13 @@ def lpt_assign(weights: Sequence[float], workers: int) -> List[List[int]]:
 _SLICE_CACHE: "OrderedDict[tuple, Tuple[list, Dict[str, int]]]" = OrderedDict()
 _SLICE_CACHE_LIMIT = 32
 
+#: module-level mutable state that is *intentionally* per-process: the
+#: fork-safety analyzer (verify/parallel_safety.py) rejects any other
+#: module-level container mutated from function scope, so divergence
+#: across the fork boundary is always a declared decision, never an
+#: accident.
+WORKER_LOCAL_STATE = frozenset({"_SLICE_CACHE"})
+
 
 def _slice_cache_key(kind: str, payload: Dict[str, Any]) -> Optional[tuple]:
     cookie = payload.get("cache_key")

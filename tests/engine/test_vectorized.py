@@ -85,8 +85,18 @@ def db(storage_engine):
     )
     database.execute("UPDATE STATISTICS sales")
     database.execute("UPDATE STATISTICS regions")
+    # the whole differential suite runs with the plan sanitizer armed;
+    # teardown asserts it stayed silent over every plan built here
+    database.execute("SET PLAN_VERIFY ON")
     yield database
+    plan_findings = [
+        row for row in database.lint_rows() if row[2].startswith("PLAN-")
+    ]
     database.close()
+    assert plan_findings == [], (
+        "plan sanitizer flagged shipped differential plans: "
+        f"{plan_findings}"
+    )
 
 
 DIFFERENTIAL_QUERIES = [

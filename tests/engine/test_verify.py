@@ -661,7 +661,7 @@ class TestStaticCheck:
             db.check("SELECT v FROM t WHERE Jitter(id) > 100")
             assert any(
                 rule == "LINT-SARG"
-                for (_o, _n, rule, _s, _m) in db.lint_rows()
+                for (_o, _n, rule, _s, _m, _src) in db.lint_rows()
             )
 
     def test_check_applies_ddl_so_later_statements_bind(self):
