@@ -318,6 +318,64 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+#: workload run by ``cache`` when no --sql is given: a hot parameterized
+#: statement (repeated point lookups with different literals), a skewed
+#: predicate that exercises the sniffing guard machinery, and an EXPLAIN
+#: so the cache note shows up in plan text
+_CACHE_DEMO = (
+    "CREATE TABLE probe (p_id INT PRIMARY KEY, gene VARCHAR(16), hits INT)",
+    "INSERT INTO probe VALUES "
+    + ", ".join(
+        f"({i}, 'g{i % 11}', {i * 7 % 101})" for i in range(1, 257)
+    ),
+    "UPDATE STATISTICS probe",
+    "SELECT gene, hits FROM probe WHERE p_id = 17",
+    "SELECT gene, hits FROM probe WHERE p_id = 42",
+    "SELECT gene, hits FROM probe WHERE p_id = 99",
+    "SELECT COUNT(*) FROM probe WHERE hits > 50",
+    "SELECT COUNT(*) FROM probe WHERE hits > 90",
+    "EXPLAIN SELECT gene, hits FROM probe WHERE p_id = 7",
+)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Run SQL against a cache-armed session and dump the plan-cache
+    DMVs (``repro-genomics cache``)."""
+    from .engine import Database
+    from .engine.errors import EngineError
+
+    with Database(default_dop=args.dop) as db:
+        for sql in args.sql or _CACHE_DEMO:
+            print(f"> {sql}")
+            try:
+                result = db.execute(sql)
+            except EngineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            for message in db.messages:
+                print(f"  {message}")
+            if isinstance(result, str):  # EXPLAIN plan text
+                print(result)
+            elif hasattr(result, "rows"):
+                for row in result.rows[: args.limit]:
+                    print(f"  {row}")
+        print()
+        if args.clear:
+            dropped = db.plan_cache.clear()
+            print(f"cleared {dropped} cached plan(s)")
+            print()
+        for view_name in (
+            "sys_dm_exec_cached_plans",
+            "sys_dm_exec_plan_cache_stats",
+        ):
+            _print_view(db, view_name)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # trace
 # ---------------------------------------------------------------------------
 
@@ -768,6 +826,33 @@ def build_parser() -> argparse.ArgumentParser:
         "up in sys_dm_os_workers)",
     )
     metrics.set_defaults(func=cmd_metrics)
+
+    cache = sub.add_parser(
+        "cache",
+        help="run SQL against the plan cache and dump "
+        "sys_dm_exec_cached_plans / plan-cache counters",
+    )
+    cache.add_argument(
+        "--sql",
+        action="append",
+        help="statement to run (repeatable; default: a hot "
+        "parameterized demo workload)",
+    )
+    cache.add_argument(
+        "--limit", type=int, default=5, help="result rows shown per query"
+    )
+    cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="clear the plan cache after the workload (before the dump)",
+    )
+    cache.add_argument(
+        "--dop",
+        type=int,
+        default=4,
+        help="default degree of parallelism",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     trace = sub.add_parser(
         "trace",

@@ -25,8 +25,15 @@ class Catalog:
         self._views: Dict[str, object] = {}
         self.functions = FunctionLibrary()
         self.filestream_store = filestream_store
+        #: monotone counter bumped by every DDL change (create/drop
+        #: table, create index) — part of the plan cache's epoch, so
+        #: cached plans never outlive the schema they compiled against
+        self.schema_version = 0
 
     # -- tables -----------------------------------------------------------------------
+
+    def bump_schema_version(self) -> None:
+        self.schema_version += 1
 
     def create_table(self, schema: TableSchema) -> Table:
         key = schema.name.lower()
@@ -38,6 +45,7 @@ class Catalog:
             udt_codec_lookup=self.functions.udt,
         )
         self._tables[key] = table
+        self.bump_schema_version()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -45,6 +53,7 @@ class Catalog:
         if key not in self._tables:
             raise BindError(f"unknown table {name!r}")
         del self._tables[key]
+        self.bump_schema_version()
 
     def table(self, name: str) -> Table:
         key = name.lower()

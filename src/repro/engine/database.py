@@ -27,6 +27,8 @@ from .executor import MaterializedResult, PhysicalOperator, collect_rows
 from .expressions import ColumnRef, ExpressionCompiler
 from .filestream import FileStreamStore
 from .metrics import Counters, MetricsRegistry, make_system_views
+from .optimizer.statistics import SelectivityMemory
+from .plancache import PlanCache
 from .planner import Planner, make_binder
 from .querystore import QueryStore
 from .tracing import (
@@ -162,6 +164,17 @@ class Database:
         self.plan_verify = os.environ.get(
             "REPRO_PLAN_VERIFY", ""
         ).strip().lower() in ("1", "on", "true", "yes")
+        #: statistics epoch: bumped by every UPDATE STATISTICS (manual
+        #: or automatic) — part of the plan cache's invalidation key
+        self.stats_epoch = 0
+        #: runtime selectivity feedback consulted by the cost model
+        #: when it has no statistics for a predicate (SET PLAN_CACHE
+        #: does not gate this: the memory is optimizer state)
+        self.selectivity_memory = SelectivityMemory()
+        self._planner.cost.selectivity_memory = self.selectivity_memory
+        #: compiled-plan cache keyed by normalized SQL + cache epoch
+        #: (SET PLAN_CACHE ON/OFF; sys_dm_exec_cached_plans)
+        self.plan_cache = PlanCache(self)
         for view_name, view in make_system_views(self).items():
             self.catalog.register_view(view_name, view)
         self._register_builtin_overrides()
@@ -300,28 +313,49 @@ class Database:
         via ``SET STATISTICS TIME/IO ON`` land in :attr:`messages`.
         """
         self.messages = []
+        # parse-free hit path: when the raw text matches a registered
+        # cached statement shape, the plan cache rebinds and returns
+        # the compiled plan before the parser ever runs
+        fast = self.plan_cache.fetch_text(sql)
+        if fast is not None:
+            return self._execute_tracked(None, fast_plan=fast.plan, sql_text=sql)
         result: Any = None
         for stmt in parse_sql(sql):
             result = self._execute_tracked(stmt)
         return result
 
-    def _execute_tracked(self, stmt) -> Any:
+    def _execute_tracked(
+        self, stmt, fast_plan=None, sql_text: Optional[str] = None
+    ) -> Any:
         """Execute one statement, recording wall-clock time and the IO
         it caused into the metrics registry (and, when the session knobs
-        are on, into :attr:`messages`)."""
-        if isinstance(stmt, (ast.SetStatisticsStmt, ast.SetOptionStmt)):
+        are on, into :attr:`messages`).
+
+        ``fast_plan`` carries a plan the cache resolved straight from
+        raw text (``stmt`` is None then): execution skips the parser
+        and statement dispatch but keeps every recording side effect
+        identical to the parsed path."""
+        if fast_plan is None and isinstance(
+            stmt, (ast.SetStatisticsStmt, ast.SetOptionStmt)
+        ):
             return self._execute_statement(stmt)
         per_table_before = (
             {t.schema.name: t.io_report() for t in self.catalog.tables()}
             if self.statistics_io
             else None
         )
-        sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
-        kind = type(stmt).__name__.removesuffix("Stmt").upper()
+        if fast_plan is None:
+            sql_text = getattr(stmt, "source_sql", None) or type(stmt).__name__
+            kind = type(stmt).__name__.removesuffix("Stmt").upper()
+        else:
+            kind = "SELECT"
         io_before = self._io_totals()
         start = time.perf_counter()
         with self.tracer.statement(sql_text, kind):
-            result = self._execute_statement(stmt)
+            if fast_plan is None:
+                result = self._execute_statement(stmt)
+            else:
+                result = self._run_select_plan(fast_plan)
         elapsed = time.perf_counter() - start
         io_delta = Counters.delta(self._io_totals(), io_before)
         if isinstance(result, MaterializedResult):
@@ -330,18 +364,46 @@ class Database:
             rows = result
         else:
             rows = 0
+        # normalize once through the query store's memo: the plan cache
+        # key, this metrics record, and query-store capture all reuse it
+        normalized = self.query_store.normalize(sql_text)
         self.metrics.record_statement(
-            sql_text, kind, elapsed, rows, io_delta, dop=self._last_plan_dop
-        )
-        self.query_store.record(
             sql_text,
             kind,
             elapsed,
             rows,
-            io=io_delta,
+            io_delta,
             dop=self._last_plan_dop,
-            plan=self._last_select_plan,
+            normalized=normalized,
         )
+        # bare EXPLAIN never executes the query: recording it would make
+        # no-execute plan inspection indistinguishable from a real run in
+        # the query store's runtime stats (EXPLAIN ANALYZE does execute
+        # and keeps flowing through)
+        is_bare_explain = (
+            fast_plan is None
+            and isinstance(stmt, ast.ExplainStmt)
+            and not stmt.analyze
+        )
+        if not is_bare_explain:
+            self.query_store.record(
+                sql_text,
+                kind,
+                elapsed,
+                rows,
+                io=io_delta,
+                dop=self._last_plan_dop,
+                plan=self._last_select_plan,
+            )
+            self._harvest_selectivities(self._last_select_plan)
+            # crash-safety checkpoint: persist the store every N recorded
+            # statements instead of only at close() (throwaway temp-dir
+            # databases skip persistence entirely)
+            if self._tempdir is None:
+                try:
+                    self.query_store.maybe_checkpoint(self._querystore_path)
+                except OSError:
+                    pass
         threshold = self.slow_query_threshold_ms
         if threshold is not None and elapsed * 1000.0 >= threshold:
             self._slow_queries.append(
@@ -422,6 +484,7 @@ class Database:
             self._io_totals(),
             workers=self.worker_pool_rows(),
             waits=self.tracer.wait_stats.rows(),
+            plan_cache=self.plan_cache.stats_dict(),
         )
 
     # -- tracing ---------------------------------------------------------------------------
@@ -572,19 +635,31 @@ class Database:
             dop = max(dop, Database._plan_dop(child))
         return dop
 
+    def _run_select_plan(self, op) -> MaterializedResult:
+        """Materialize a resolved physical plan — the shared tail of
+        the parsed SELECT branch and the plan cache's raw-text path."""
+        self._last_plan_dop = self._plan_dop(op)
+        self._last_select_plan = op
+        columns = [c.rsplit(".", 1)[-1] for c in op.columns]
+        return MaterializedResult(columns, collect_rows(op))
+
     def _execute_statement(self, stmt) -> Any:
         self._last_plan_dop = 1
         self._last_select_plan = None
         if isinstance(stmt, ast.SelectStmt):
-            op = self._planner.plan_select(stmt)
-            self._last_plan_dop = self._plan_dop(op)
-            self._last_select_plan = op
-            columns = [c.rsplit(".", 1)[-1] for c in op.columns]
-            return MaterializedResult(columns, collect_rows(op))
+            return self._run_select_plan(self.plan_cache.fetch(stmt).plan)
         if isinstance(stmt, ast.ExplainStmt):
             if stmt.analyze:
+                # EXPLAIN ANALYZE arms per-operator timing, which must
+                # not persist on a cached plan — always plan fresh
                 return self._explain_analyze(stmt.select)
-            return self._planner.explain_select(stmt.select)
+            text = self._planner.explain_select(stmt.select)
+            # peek only: report what the cache *would* do without
+            # bumping counters or caching the inspected plan
+            cache_note = self.plan_cache.peek(stmt.select)
+            if cache_note is not None:
+                text += f"\nnote: {cache_note}"
+            return text
         if isinstance(stmt, ast.UpdateStatisticsStmt):
             self.analyze_table(stmt.table)
             return 0
@@ -602,6 +677,11 @@ class Database:
                 self.max_dop = stmt.value or None
             elif stmt.option == "PLAN_VERIFY":
                 self.plan_verify = bool(stmt.value)
+            elif stmt.option == "PLAN_CACHE":
+                enabled = bool(stmt.value)
+                if self.plan_cache.enabled and not enabled:
+                    self.plan_cache.clear(reason="disabled")
+                self.plan_cache.enabled = enabled
             elif stmt.option == "SLOW_QUERY_THRESHOLD":
                 if stmt.value < 0:
                     raise EngineError(
@@ -611,16 +691,25 @@ class Database:
                 self.slow_query_threshold_ms = float(stmt.value)
             return 0
         if isinstance(stmt, ast.InsertStmt):
-            return self._execute_insert(stmt)
+            count = self._execute_insert(stmt)
+            self._maybe_auto_update_statistics(stmt.table)
+            return count
         if isinstance(stmt, ast.DeleteStmt):
-            return self._execute_delete(stmt)
+            count = self._execute_delete(stmt)
+            self._maybe_auto_update_statistics(stmt.table)
+            return count
         if isinstance(stmt, ast.UpdateStmt):
-            return self._execute_update(stmt)
+            count = self._execute_update(stmt)
+            self._maybe_auto_update_statistics(stmt.table)
+            return count
         if isinstance(stmt, ast.CreateTableStmt):
             self._execute_create_table(stmt)
             return 0
         if isinstance(stmt, ast.CreateIndexStmt):
             self.catalog.table(stmt.table).create_index(stmt.name, stmt.columns)
+            # create_index is a Table method, so the catalog never sees
+            # it — bump the DDL epoch here so cached plans notice
+            self.catalog.bump_schema_version()
             return 0
         if isinstance(stmt, ast.DropTableStmt):
             self.catalog.drop_table(stmt.name)
@@ -839,7 +928,60 @@ class Database:
     def analyze_table(self, name: str):
         """Collect optimizer statistics for one table (the implementation
         behind ``UPDATE STATISTICS`` / ``ANALYZE``)."""
-        return self.catalog.table(name).analyze()
+        result = self.catalog.table(name).analyze()
+        # new statistics can change every cached plan's cost basis
+        self.stats_epoch += 1
+        return result
+
+    def _maybe_auto_update_statistics(self, table_name: str) -> None:
+        """SQL Server's auto-stats loop: when a table's modification
+        counter crosses the staleness threshold (500 + 20% of the rows
+        the statistics were built over), refresh its statistics and
+        bump the stats epoch so cached plans recompile against the new
+        distribution."""
+        try:
+            table = self.catalog.table(table_name)
+        except BindError:
+            return
+        if not getattr(table, "statistics_stale", lambda: False)():
+            return
+        modifications = table.modification_counter
+        table.analyze()
+        self.stats_epoch += 1
+        self.messages.append(
+            f"Auto UPDATE STATISTICS on {table.schema.name!r} "
+            f"({modifications} modifications since last collection)."
+        )
+
+    def _harvest_selectivities(self, plan: Optional[PhysicalOperator]) -> None:
+        """Feed actual filter selectivities back into the optimizer.
+
+        Walks the last executed plan for Filter / FusedFilterProject
+        operators sitting directly on a base-table access and records
+        (rows in → rows out) of the *most recent* execution loop into
+        the selectivity memory, which the cost model consults the next
+        time it has no statistics for a matching predicate."""
+        if plan is None:
+            return
+        from .executor.operators import Filter, FusedFilterProject
+
+        for _path, op in plan.walk():
+            if not isinstance(op, (Filter, FusedFilterProject)):
+                continue
+            label = getattr(op, "label", "")
+            if not label:
+                continue
+            child = op.child
+            table = getattr(child, "table", None)
+            if table is None or getattr(table, "schema", None) is None:
+                continue
+            if not child.loop_rows or not op.loop_rows:
+                continue
+            rows_in = child.loop_rows[-1]
+            rows_out = op.loop_rows[-1]
+            self.selectivity_memory.observe(
+                table.schema.name, label, rows_in, rows_out
+            )
 
     def storage_report(self) -> List[dict]:
         """Per-table storage statistics (the raw material of Tables 1/2)."""

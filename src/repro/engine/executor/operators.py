@@ -35,6 +35,20 @@ def _qualify(alias: Optional[str], names: Sequence[str]) -> List[str]:
     return list(names)
 
 
+def _resolve_key(bound: Optional[Tuple[Any, ...]]) -> Optional[Tuple[Any, ...]]:
+    """Seek bounds may carry plan-cache parameter slots (duck-typed via
+    ``is_parameter``); resolve them to the current values at execute time
+    so a cached seek follows the parameters, not the values it was
+    compiled under."""
+    if bound is None or not any(
+        getattr(v, "is_parameter", False) for v in bound
+    ):
+        return bound
+    return tuple(
+        v.value if getattr(v, "is_parameter", False) else v for v in bound
+    )
+
+
 class TableScan(PhysicalOperator):
     """Heap scan in physical order.
 
@@ -423,10 +437,12 @@ class ClusteredIndexSeek(PhysicalOperator):
         self.batch_capable = hasattr(table, "seek")
 
     def execute(self):
-        return self.table.seek(self.lo, self.hi)
+        return self.table.seek(_resolve_key(self.lo), _resolve_key(self.hi))
 
     def execute_batch(self):
-        yield from batches_from_rows(self.table.seek(self.lo, self.hi))
+        yield from batches_from_rows(
+            self.table.seek(_resolve_key(self.lo), _resolve_key(self.hi))
+        )
 
     def explain_node(self):
         return (
@@ -461,7 +477,9 @@ class SecondaryIndexSeek(PhysicalOperator):
         self.ordering = ()
 
     def execute(self):
-        return self.table.index_seek(self.index_name, self.lo, self.hi)
+        return self.table.index_seek(
+            self.index_name, _resolve_key(self.lo), _resolve_key(self.hi)
+        )
 
     def explain_node(self):
         return (

@@ -38,6 +38,47 @@ class Literal(Expr):
     value: Any
 
 
+class Parameter(Literal):
+    """A literal lifted into a plan-cache parameter slot.
+
+    ``value`` reads the current slot of the owning cache entry's shared
+    parameter store, so a compiled plan template picks up fresh values on
+    every execution without recompiling.  Everywhere an expression is
+    *evaluated* a Parameter behaves exactly like the literal it replaced;
+    code that would *bake* the value at plan time must either accept the
+    sniffed value (cost estimates deliberately use the first-seen
+    parameters) or keep the node and resolve at execute time (seek
+    bounds, pushed column-store predicates, batch-compiled constants).
+
+    ``is_parameter`` exists so storage-layer code can detect slots by
+    duck typing without importing this module.
+    """
+
+    is_parameter = True
+
+    def __init__(self, index: int, store: List[Any]):
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "store", store)
+
+    @property
+    def value(self) -> Any:  # type: ignore[override]
+        return self.store[self.index]
+
+    def __repr__(self) -> str:
+        # render as the current value so seek bounds and plan labels look
+        # exactly like the equivalent inline-literal plan
+        return repr(self.store[self.index])
+
+
+def contains_parameter(expr: Optional[Expr]) -> bool:
+    """Does any node of ``expr`` read a plan-cache parameter slot?"""
+    if expr is None:
+        return False
+    if isinstance(expr, Parameter):
+        return True
+    return any(contains_parameter(child) for child in expr.children())
+
+
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     name: str
@@ -413,6 +454,10 @@ class ExpressionCompiler:
         value = expr.value
         return lambda row: value
 
+    def _compile_parameter(self, expr: Parameter):
+        store, index = expr.store, expr.index
+        return lambda row: store[index]
+
     def _compile_columnref(self, expr: ColumnRef):
         index = self._binder(expr)
         return lambda row: row[index]
@@ -661,6 +706,10 @@ class ExpressionCompiler:
         value = expr.value
         return lambda batch: [value] * len(batch)
 
+    def _batch_parameter(self, expr: Parameter):
+        store, index = expr.store, expr.index
+        return lambda batch: [store[index]] * len(batch)
+
     def _batch_columnref(self, expr: ColumnRef):
         index = self._binder(expr)
         return lambda batch: [row[index] for row in batch]
@@ -688,7 +737,11 @@ class ExpressionCompiler:
                 for l, r in zip(left(batch), right(batch))
             ]
         fn = _COMPARE.get(op) or _ARITH.get(op)
-        if isinstance(expr.right, Literal) and expr.right.value is not None:
+        if (
+            isinstance(expr.right, Literal)
+            and not isinstance(expr.right, Parameter)
+            and expr.right.value is not None
+        ):
             constant = expr.right.value
             return lambda batch: [
                 None if l is None else fn(l, constant) for l in left(batch)
@@ -728,6 +781,22 @@ class ExpressionCompiler:
 
     def _batch_inlist(self, expr: InList):
         value = self.compile_batch(expr.operand)
+        if any(isinstance(item, Parameter) for item in expr.items):
+            # parameter slots change between executions of a cached plan:
+            # rebuild the membership set per batch instead of baking it
+            nodes = tuple(expr.items)
+
+            def dynamic(batch):
+                items = [node.value for node in nodes]
+                saw_null = any(item is None for item in items)
+                members = frozenset(i for i in items if i is not None)
+                absent = None if saw_null else False
+                return [
+                    None if v is None else (True if v in members else absent)
+                    for v in value(batch)
+                ]
+
+            return dynamic
         items = [item.value for item in expr.items]
         saw_null = any(item is None for item in items)
         members = frozenset(item for item in items if item is not None)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import BindError
+from .querystore import normalize_statement
 from .schema import Column, TableSchema
 from .types import float_type, int_type, varchar_type
 
@@ -170,8 +171,15 @@ class QueryStats:
 
 
 def normalize_query_text(sql: str) -> str:
-    """Collapse whitespace so formatting differences share one stats row."""
-    return " ".join(sql.split())
+    """Normalise a statement for stats aggregation.
+
+    Thin re-export of the query store's lexer-based
+    :func:`~repro.engine.querystore.normalize_statement` so the metrics
+    registry, the query store, and the plan cache all agree on one
+    normalization: literals mask to ``?``, keywords upper-case, and
+    whitespace collapses — parameterized repetitions of one statement
+    shape share a single stats row instead of one row per literal."""
+    return normalize_statement(sql)
 
 
 class MetricsRegistry:
@@ -193,8 +201,13 @@ class MetricsRegistry:
         rows: int,
         io: Dict[str, int],
         dop: int = 1,
+        normalized: Optional[str] = None,
     ) -> QueryStats:
-        text = normalize_query_text(sql)
+        # callers that already hold the normalized text (the database
+        # shares the query store's memoized normalization across the
+        # metrics registry, the plan cache key, and query-store capture)
+        # pass it in so one statement is tokenized once, not three times
+        text = normalized if normalized is not None else normalize_query_text(sql)
         stats = self._queries.get(text)
         if stats is None:
             if len(self._queries) >= self.retain:
@@ -244,12 +257,15 @@ class MetricsRegistry:
         io_totals: Dict[str, int],
         workers: Optional[Sequence[Tuple[Any, ...]]] = None,
         waits: Optional[Sequence[Tuple[Any, ...]]] = None,
+        plan_cache: Optional[Dict[str, int]] = None,
     ) -> str:
         """Render the registry as Prometheus exposition-format text.
 
-        ``workers`` takes ``sys_dm_os_workers`` rows and ``waits`` takes
-        ``sys_dm_os_wait_stats`` rows, so pool utilisation and wait
-        accounting scrape alongside the per-query counters."""
+        ``workers`` takes ``sys_dm_os_workers`` rows, ``waits`` takes
+        ``sys_dm_os_wait_stats`` rows, and ``plan_cache`` takes the
+        plan cache's flat counter map, so pool utilisation, wait
+        accounting, and cache effectiveness scrape alongside the
+        per-query counters."""
         lines = [
             "# HELP repro_engine_query_executions_total "
             "Executions per normalised query text.",
@@ -349,6 +365,18 @@ class MetricsRegistry:
                 lines.append(
                     "repro_engine_waiting_tasks_total"
                     f'{{wait_type="{wait_type}"}} {count}'
+                )
+        if plan_cache is not None:
+            lines += [
+                "# HELP repro_engine_plan_cache_total "
+                "Plan cache events (hits, misses, recompiles, "
+                "evictions) and gauges (entries, unstable).",
+                "# TYPE repro_engine_plan_cache_total counter",
+            ]
+            for key in sorted(plan_cache):
+                lines.append(
+                    f'repro_engine_plan_cache_total{{event="{key}"}} '
+                    f"{plan_cache[key]}"
                 )
         return "\n".join(lines) + "\n"
 
@@ -646,6 +674,31 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         lambda: db.tracer.span_rows(),
     )
 
+    cached_plans = VirtualTable(
+        _view_schema(
+            "sys_dm_exec_cached_plans",
+            [
+                ("query_text", varchar_type(-1)),
+                ("state", varchar_type(64)),
+                ("hit_count", int_type()),
+                ("recompile_count", int_type()),
+                ("parameter_count", int_type()),
+                ("guard_count", int_type()),
+                ("created_at", int_type()),
+                ("last_used_at", int_type()),
+            ],
+        ),
+        lambda: db.plan_cache.entry_rows(),
+    )
+
+    plan_cache_stats = VirtualTable(
+        _view_schema(
+            "sys_dm_exec_plan_cache_stats",
+            [("counter", varchar_type(128)), ("value", int_type())],
+        ),
+        lambda: db.plan_cache.stats_rows(),
+    )
+
     slow_queries = VirtualTable(
         _view_schema(
             "sys_dm_exec_slow_queries",
@@ -675,4 +728,6 @@ def make_system_views(db: "Any") -> Dict[str, VirtualTable]:
         "sys_dm_os_wait_stats": wait_stats,
         "sys_dm_exec_trace_spans": trace_spans,
         "sys_dm_exec_slow_queries": slow_queries,
+        "sys_dm_exec_cached_plans": cached_plans,
+        "sys_dm_exec_plan_cache_stats": plan_cache_stats,
     }

@@ -31,6 +31,7 @@ from ..expressions import (
     Expr,
     FuncCall,
     Literal,
+    Parameter,
     column_refs,
     expression_to_sql,
     rewrite,
@@ -114,6 +115,10 @@ def fold_constant_udfs(
         if not isinstance(node, FuncCall):
             return None
         if not all(isinstance(a, Literal) for a in node.args):
+            return None
+        if any(isinstance(a, Parameter) for a in node.args):
+            # parameter slots change between executions of a cached plan
+            # template — folding would freeze the first-seen value
             return None
         udf = library.scalar(node.name)
         if not _foldable(udf):

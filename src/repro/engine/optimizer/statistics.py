@@ -318,6 +318,78 @@ def harvest_segment_statistics(
     return stats
 
 
+@dataclass
+class SelectivityObservation:
+    """Feedback for one literal-masked predicate on one table."""
+
+    table_name: str
+    predicate: str
+    observed: float      # EWMA of actual rows_out / rows_in
+    samples: int = 0
+    last_rows_in: int = 0
+    last_rows_out: int = 0
+
+
+class SelectivityMemory:
+    """Observed predicate selectivities, harvested from executed plans.
+
+    Filters directly above a base scan report ``(rows_in, rows_out)``
+    per execution; keys are ``(table, literal-masked predicate)`` so
+    ``chrom = 'chr1'`` and ``chrom = 'chrX'`` share one slot — the
+    memory learns the *workload-average* selectivity of a predicate
+    shape, which is exactly the estimate to fall back on when the
+    optimizer would otherwise guess a magic number. Value-sensitive
+    histogram/MCV estimates deliberately take precedence (parameter
+    sniffing needs them to stay per-value); the memory corrects the
+    blind defaults (LIKE, stats-less columns, exotic shapes).
+    """
+
+    def __init__(self, alpha: float = 0.5, max_entries: int = 512):
+        self.alpha = float(alpha)
+        self.max_entries = int(max_entries)
+        self._memory: Dict[Tuple[str, str], SelectivityObservation] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @staticmethod
+    def _key(table_name: str, predicate: str) -> Tuple[str, str]:
+        from ..querystore import mask_literals
+
+        return (table_name.lower(), mask_literals(predicate))
+
+    def observe(
+        self, table_name: str, predicate: str, rows_in: int, rows_out: int
+    ) -> None:
+        if rows_in <= 0 or predicate.endswith("..."):
+            return  # nothing flowed, or a truncated label (ambiguous key)
+        selectivity = min(max(rows_out / rows_in, 0.0), 1.0)
+        key = self._key(table_name, predicate)
+        entry = self._memory.get(key)
+        if entry is None:
+            if len(self._memory) >= self.max_entries:
+                self._memory.pop(next(iter(self._memory)))
+            entry = SelectivityObservation(
+                table_name=table_name, predicate=key[1], observed=selectivity
+            )
+            self._memory[key] = entry
+        else:
+            entry.observed += self.alpha * (selectivity - entry.observed)
+        entry.samples += 1
+        entry.last_rows_in = rows_in
+        entry.last_rows_out = rows_out
+
+    def lookup(self, table_name: str, predicate: str) -> Optional[float]:
+        entry = self._memory.get(self._key(table_name, predicate))
+        return entry.observed if entry is not None else None
+
+    def observations(self) -> List[SelectivityObservation]:
+        return list(self._memory.values())
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+
 def collect_table_statistics(
     table,
     buckets: int = DEFAULT_BUCKETS,

@@ -70,6 +70,7 @@ from .expressions import (
     InList,
     IsNull,
     Literal,
+    Parameter,
     BinaryOp,
     column_refs,
     expression_to_sql,
@@ -126,6 +127,12 @@ def make_binder(op: PhysicalOperator) -> Callable[[ColumnRef], int]:
         raise BindError(f"ambiguous column {ref}")
 
     return binder
+
+
+def _sniffed(prefix: Sequence[Any]) -> List[Any]:
+    """Current values of a seek prefix that may hold parameter slots —
+    what the cost model prices a cached plan's first compile against."""
+    return [v.value if isinstance(v, Parameter) else v for v in prefix]
 
 
 def _binds(op: PhysicalOperator, expr: Expr) -> bool:
@@ -727,7 +734,10 @@ class Planner:
                 col_index = binder(ref)
             except BindError:
                 continue
-            bindings.setdefault(col_index, (lit.value, conjunct))
+            # parameter slots stay as nodes so a cached seek resolves the
+            # current value at execute time; plain literals bind by value
+            bound = lit if isinstance(lit, Parameter) else lit.value
+            bindings.setdefault(col_index, (bound, conjunct))
         return bindings
 
     @staticmethod
@@ -779,7 +789,7 @@ class Planner:
             ]
             prefix, consumed = self._bound_prefix(key_positions, bindings)
             if prefix:
-                bound = list(zip(schema.primary_key, prefix))
+                bound = list(zip(schema.primary_key, _sniffed(prefix)))
                 est = self.cost.seek_rows(
                     table, bound, full_key=len(prefix) == len(schema.primary_key)
                 )
@@ -802,8 +812,9 @@ class Planner:
             prefix, consumed = self._bound_prefix(index_positions, bindings)
             if not prefix:
                 continue
+            sniffed = _sniffed(prefix)
             bound = [
-                (schema.columns[col_idxs[i]].name, prefix[i])
+                (schema.columns[col_idxs[i]].name, sniffed[i])
                 for i in range(len(prefix))
             ]
             est = self.cost.seek_rows(table, bound, full_key=False)
@@ -857,6 +868,12 @@ class Planner:
             except BindError:
                 return None
 
+        # parameter slots are pushed as the node itself: PushedPredicate
+        # resolves the current slot value on every read, so a cached scan
+        # prunes against the parameters of *this* execution
+        def payload(lit: Literal) -> Any:
+            return lit if isinstance(lit, Parameter) else lit.value
+
         label = expression_to_sql(conjunct)
         comparison = _column_comparison(conjunct)
         if comparison is not None:
@@ -866,7 +883,12 @@ class Planner:
                 return None
             if op == "!=":
                 op = "<>"
-            return PushedPredicate(position, op, value, label=label)
+            lit = (
+                conjunct.right
+                if isinstance(conjunct.right, Literal)
+                else conjunct.left
+            )
+            return PushedPredicate(position, op, payload(lit), label=label)
         if isinstance(conjunct, Between):
             position = schema_position(conjunct.operand)
             if (
@@ -880,7 +902,7 @@ class Planner:
             return PushedPredicate(
                 position,
                 "between",
-                (conjunct.low.value, conjunct.high.value),
+                (payload(conjunct.low), payload(conjunct.high)),
                 label=label,
             )
         if isinstance(conjunct, InList):
@@ -890,10 +912,13 @@ class Planner:
                 for item in conjunct.items
             ):
                 return None
-            try:
-                values = frozenset(item.value for item in conjunct.items)
-            except TypeError:
-                return None
+            if any(isinstance(item, Parameter) for item in conjunct.items):
+                values: Any = tuple(payload(item) for item in conjunct.items)
+            else:
+                try:
+                    values = frozenset(item.value for item in conjunct.items)
+                except TypeError:
+                    return None
             return PushedPredicate(position, "in", values, label=label)
         if isinstance(conjunct, IsNull):
             position = schema_position(conjunct.operand)

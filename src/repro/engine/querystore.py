@@ -68,6 +68,50 @@ def normalize_statement(sql: str) -> str:
 _LITERAL_IN_LABEL = re.compile(r"'[^']*'|\b\d+(?:\.\d+)?\b")
 
 
+def mask_literals(text: str) -> str:
+    """Replace string/number literals in free text (operator labels,
+    predicate SQL) with ``?`` — the label-level analogue of
+    :func:`normalize_statement`, shared by plan signatures, the plan
+    cache, and the optimizer's selectivity memory."""
+    return _LITERAL_IN_LABEL.sub("?", text)
+
+
+def statement_shape(text: str) -> str:
+    """Whitespace-collapsed, literal-masked rendition of raw SQL.
+
+    Cheaper than :func:`normalize_statement` (one regex pass, no
+    lexing) and *finer*: keyword case and comments survive. Every
+    rendition of one parameterized statement shape — same text, fresh
+    literals — collapses onto the same shape string, which is what the
+    plan cache's parse-free hit path and the query store's
+    normalization memo key on."""
+    return " ".join(_LITERAL_IN_LABEL.sub("?", text).split())
+
+
+def literal_values(text: str) -> Optional[List[Any]]:
+    """The literal values of raw SQL in text order, converted exactly
+    as the parser converts them (``.`` → float, else int; strings
+    unescaped) — or None when a literal fails conversion.
+
+    Only sound for texts whose every literal is a plain regex-visible
+    form: the plan cache verifies that property per statement shape at
+    registration time before trusting this extractor on the hit path
+    (exponents, doubled-quote escapes, and folded signs all change the
+    masked shape or fail the registration check, so they never reach
+    the fast path)."""
+    values: List[Any] = []
+    for match in _LITERAL_IN_LABEL.finditer(text):
+        token = match.group()
+        if token[0] == "'":
+            values.append(token[1:-1])
+        else:
+            try:
+                values.append(float(token) if "." in token else int(token))
+            except ValueError:
+                return None
+    return values
+
+
 def plan_signature(op: Any) -> Tuple[Tuple[int, str], ...]:
     """Structural identity of a physical plan: the tree of operator
     labels with literals masked, depth-tagged. Two executions share a
@@ -192,10 +236,20 @@ class QueryStore:
     their plans and runtime rows); ``interval_seconds`` is the runtime
     stats bucketing window (SQL Server defaults to 60 minutes)."""
 
-    def __init__(self, retain: int = 200, interval_seconds: float = 3600.0):
+    def __init__(
+        self,
+        retain: int = 200,
+        interval_seconds: float = 3600.0,
+        checkpoint_interval: int = 256,
+    ):
         self.enabled = True
         self.retain = retain
         self.interval_seconds = float(interval_seconds)
+        #: persist every N captured statements (crash safety: a killed
+        #: process loses at most one interval's feedback data); 0 turns
+        #: periodic checkpointing off (save on close only)
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.records_since_checkpoint = 0
         self._queries: Dict[str, StoredQuery] = {}
         self._plans: Dict[Tuple[int, Tuple], StoredPlan] = {}
         self._runtime: Dict[Tuple[int, int, int], RuntimeStats] = {}
@@ -204,6 +258,15 @@ class QueryStore:
         #: raw SQL -> normalised text memo (hot statements re-execute
         #: verbatim, so normalisation is paid once per distinct text)
         self._norm_cache: Dict[str, str] = {}
+        #: regex-masked shape -> normalised text memo. Parameterized
+        #: traffic repeats a statement *shape* with fresh literals, so
+        #: the exact-text memo above always misses; masking literals
+        #: with one regex pass collapses every rendition of a shape
+        #: onto a single key and skips re-tokenising it. Sound because
+        #: two texts can only share a masked form when they differ in
+        #: literal content alone — content the lexer masks to ``?``
+        #: itself — so a shared masked key implies a shared normal form.
+        self._shape_cache: Dict[str, str] = {}
         self.dirty = False
 
     # -- capture -----------------------------------------------------------------
@@ -211,7 +274,13 @@ class QueryStore:
     def normalize(self, sql: str) -> str:
         cached = self._norm_cache.get(sql)
         if cached is None:
-            cached = normalize_statement(sql)
+            shape = statement_shape(sql)
+            cached = self._shape_cache.get(shape)
+            if cached is None:
+                cached = normalize_statement(sql)
+                if len(self._shape_cache) > 4 * self.retain:
+                    self._shape_cache.clear()
+                self._shape_cache[shape] = cached
             if len(self._norm_cache) > 4 * self.retain:
                 self._norm_cache.clear()
             self._norm_cache[sql] = cached
@@ -287,7 +356,20 @@ class QueryStore:
             self._runtime[key] = runtime
         runtime.record(elapsed, rows, io or {}, dop, est_rows)
         self.dirty = True
+        self.records_since_checkpoint += 1
         return _CaptureOutcome(query=query, plan=stored_plan, runtime=runtime)
+
+    def maybe_checkpoint(self, path: Any) -> bool:
+        """Save to ``path`` when ``checkpoint_interval`` captures have
+        accumulated since the last save; returns True when it saved."""
+        if (
+            self.checkpoint_interval <= 0
+            or not self.dirty
+            or self.records_since_checkpoint < self.checkpoint_interval
+        ):
+            return False
+        self.save(path)
+        return True
 
     def _evict_oldest(self) -> None:
         """Age out the least-recently-interned query and its history."""
@@ -443,6 +525,7 @@ class QueryStore:
             json.dump(self.to_dict(), handle, indent=1)
             handle.write("\n")
         self.dirty = False
+        self.records_since_checkpoint = 0
 
     def load(self, path: Any) -> None:
         with open(path, "r", encoding="utf-8") as handle:

@@ -193,13 +193,13 @@ class Parser:
             enabled = self._expect_keyword("ON", "OFF").value == "ON"
             return ast.SetStatisticsStmt(option, enabled)
         name = self._expect_ident().upper()
-        if name == "PLAN_VERIFY":
+        if name in ("PLAN_VERIFY", "PLAN_CACHE"):
             enabled = self._expect_keyword("ON", "OFF").value == "ON"
             return ast.SetOptionStmt(name, int(enabled))
         if name not in ("MAX_DOP", "SLOW_QUERY_THRESHOLD"):
             raise self._error(
-                "expected STATISTICS, MAX_DOP, PLAN_VERIFY, or "
-                "SLOW_QUERY_THRESHOLD after SET"
+                "expected STATISTICS, MAX_DOP, PLAN_CACHE, PLAN_VERIFY, "
+                "or SLOW_QUERY_THRESHOLD after SET"
             )
         token = self._peek()
         if token.type != NUMBER:

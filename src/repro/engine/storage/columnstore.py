@@ -66,6 +66,12 @@ ENC_BITPACK = "bitpack"
 # ---------------------------------------------------------------------------
 
 
+def _is_param(value: Any) -> bool:
+    # duck-typed so storage never imports the expression layer: a plan
+    # cache parameter slot carries ``is_parameter`` and a live ``value``
+    return getattr(value, "is_parameter", False)
+
+
 class PushedPredicate:
     """One conjunct the planner pushed into a column scan.
 
@@ -73,15 +79,54 @@ class PushedPredicate:
     ``value`` is the literal (a frozenset for ``in``, a ``(lo, hi)``
     pair for ``between``, ``None`` for the null tests). Semantics match
     the compiled row predicate: comparisons against NULL never match.
+
+    Any literal position may instead hold a plan-cache parameter slot
+    (for ``in``, a tuple mixing slots and plain values); ``value`` then
+    resolves the current slot contents on every read, so a cached plan
+    template evaluates fresh parameters without being re-planned. Slots
+    survive pickling to exchange workers — the worker's copy freezes the
+    values that were current at ship time, which is exactly the
+    execution being shipped.
     """
 
-    __slots__ = ("col_index", "op", "value", "label")
+    __slots__ = ("col_index", "op", "_value", "_dynamic", "label")
 
     def __init__(self, col_index: int, op: str, value: Any, label: str = ""):
         self.col_index = col_index
         self.op = op
-        self.value = value
+        self._value = value
+        if op in ("in", "between"):
+            self._dynamic = any(_is_param(v) for v in value)
+        else:
+            self._dynamic = _is_param(value)
         self.label = label
+
+    @property
+    def value(self) -> Any:
+        if not self._dynamic:
+            return self._value
+        if self.op == "in":
+            return frozenset(
+                v.value if _is_param(v) else v for v in self._value
+            )
+        if self.op == "between":
+            lo, hi = self._value
+            return (
+                lo.value if _is_param(lo) else lo,
+                hi.value if _is_param(hi) else hi,
+            )
+        return self._value.value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+        if self.op in ("in", "between"):
+            try:
+                self._dynamic = any(_is_param(v) for v in new_value)
+            except TypeError:
+                self._dynamic = False
+        else:
+            self._dynamic = _is_param(new_value)
 
     def matcher(self) -> Callable[[Any], bool]:
         op, arg = self.op, self.value

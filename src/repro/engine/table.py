@@ -64,6 +64,9 @@ class Table:
         #: (sealed-segment count, TableStats) cache for the zero-scan
         #: statistics harvested from columnstore segment metadata
         self._harvested_statistics = None
+        #: rows inserted/deleted since statistics were last collected —
+        #: SQL Server's colmodctr, driving automatic statistics refresh
+        self.modification_counter = 0
 
     @property
     def heap(self):
@@ -120,6 +123,7 @@ class Table:
             self._pk_index.insert(key, rid)
         for name, (col_idxs, tree) in self._secondary.items():
             tree.insert(tuple(row[i] for i in col_idxs), rid)
+        self.modification_counter += 1
         return rid
 
     def insert_many(self, rows: Iterator[Sequence[Any]]) -> int:
@@ -188,6 +192,7 @@ class Table:
         return len(victims)
 
     def _delete_rid(self, rid: Rid, row: Tuple[Any, ...]) -> None:
+        self.modification_counter += 1
         self.store.delete(rid)
         if self._pk_index is not None:
             self._pk_index.delete(self.schema.key_of(row))
@@ -336,7 +341,19 @@ class Table:
             mcv_size=mcv_size if mcv_size is not None else DEFAULT_MCV,
             version=(previous.version + 1) if previous is not None else 1,
         )
+        self.modification_counter = 0
         return self.statistics
+
+    def statistics_stale(self) -> bool:
+        """SQL Server's auto-update-statistics trigger: stale once the
+        modification counter passes 500 + 20% of the statistics' row
+        count. Only tables with explicitly collected statistics qualify
+        (the zero-scan harvested kind re-derives itself per segment
+        seal and has nothing to refresh)."""
+        stats = self._statistics
+        if stats is None:
+            return False
+        return self.modification_counter >= 500 + 0.2 * stats.row_count
 
     def has_index_on(self, columns: Sequence[str]) -> bool:
         """True when the PK or a secondary index leads with ``columns``."""

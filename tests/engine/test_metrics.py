@@ -69,9 +69,15 @@ class TestSpans:
 
 
 class TestRegistry:
-    def test_normalize_collapses_whitespace(self):
-        assert normalize_query_text("SELECT  1\n  FROM   t") == (
-            "SELECT 1 FROM t"
+    def test_normalize_collapses_whitespace_and_masks_literals(self):
+        # normalize_query_text delegates to the query store's
+        # lexer-based normalization: whitespace collapses AND literals
+        # mask to '?', so parameterized repetitions share one stats row
+        assert normalize_query_text("SELECT  x\n  FROM   t") == (
+            "SELECT x FROM t"
+        )
+        assert normalize_query_text("SELECT x FROM t WHERE id = 3") == (
+            normalize_query_text("SELECT x FROM t WHERE id = 99")
         )
 
     def test_repeat_executions_aggregate(self):
@@ -82,14 +88,21 @@ class TestRegistry:
         assert stats.execution_count == 2
         assert stats.total_elapsed == pytest.approx(0.75)
 
+    def test_parameterized_repetitions_share_a_row(self):
+        registry = MetricsRegistry()
+        registry.record_statement("SELECT a FROM t WHERE id = 1", "SELECT", 0.5, 1, {})
+        registry.record_statement("SELECT a FROM t WHERE id = 2", "SELECT", 0.25, 1, {})
+        (stats,) = registry.queries()
+        assert stats.execution_count == 2
+
     def test_retention_evicts_oldest(self):
         registry = MetricsRegistry(retain=2)
-        registry.record_statement("SELECT 1", "SELECT", 0.1, 1, {})
-        registry.record_statement("SELECT 2", "SELECT", 0.1, 1, {})
-        registry.record_statement("SELECT 3", "SELECT", 0.1, 1, {})
+        registry.record_statement("SELECT a", "SELECT", 0.1, 1, {})
+        registry.record_statement("SELECT b", "SELECT", 0.1, 1, {})
+        registry.record_statement("SELECT c", "SELECT", 0.1, 1, {})
         texts = [q.query_text for q in registry.queries()]
-        assert "SELECT 1" not in texts
-        assert texts == ["SELECT 2", "SELECT 3"]
+        assert "SELECT a" not in texts
+        assert texts == ["SELECT b", "SELECT c"]
 
 
 @pytest.fixture
@@ -112,7 +125,9 @@ class TestSystemViews:
             " FROM sys_dm_exec_query_stats"
         )
         by_text = {r[0]: r for r in rows}
-        stats = by_text["SELECT grp, COUNT(*) FROM t GROUP BY grp"]
+        stats = by_text[
+            normalize_query_text("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+        ]
         assert stats[1] == "SELECT"
         assert stats[2] == 1
         assert stats[3] == 2
@@ -177,7 +192,9 @@ class TestSystemViews:
             "FROM sys_dm_exec_query_stats WHERE total_segments_skipped > 0"
         )
         assert rows
-        assert rows[0][0] == "SELECT COUNT(*) FROM cq WHERE id > 6"
+        assert rows[0][0] == normalize_query_text(
+            "SELECT COUNT(*) FROM cq WHERE id > 6"
+        )
 
     def test_views_are_read_only(self, db):
         with pytest.raises(BindError):
@@ -189,15 +206,15 @@ class TestSystemViews:
         assert "sys_dm_io_stats" not in db.catalog.table_names()
         assert db.catalog.has_table("sys_dm_io_stats")
 
-    def test_source_sql_captured_verbatim_per_statement(self, db):
+    def test_source_sql_split_and_normalized_per_statement(self, db):
         db.execute(
             "SELECT COUNT(*) FROM t; SELECT grp FROM t WHERE id = 1"
         )
         texts = [
             q.query_text for q in db.metrics.queries()
         ]
-        assert "SELECT COUNT(*) FROM t" in texts
-        assert "SELECT grp FROM t WHERE id = 1" in texts
+        assert normalize_query_text("SELECT COUNT(*) FROM t") in texts
+        assert normalize_query_text("SELECT grp FROM t WHERE id = 1") in texts
 
 
 class TestSetStatistics:
@@ -279,8 +296,10 @@ class TestPrometheus:
         db.query("SELECT COUNT(*) FROM t")
         text = db.metrics_prometheus()
         assert "# TYPE repro_engine_query_executions_total counter" in text
+        label = normalize_query_text("SELECT COUNT(*) FROM t")
         assert (
-            'repro_engine_query_executions_total{query="SELECT COUNT(*) '
-            'FROM t"} 1' in text
+            f'repro_engine_query_executions_total{{query="{label}"}} 1'
+            in text
         )
         assert 'repro_engine_io_total{counter="rows_inserted"} 3' in text
+        assert 'repro_engine_plan_cache_total{event="misses"} 1' in text

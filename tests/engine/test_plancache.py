@@ -1,0 +1,591 @@
+"""Plan cache + adaptive optimization tests.
+
+Covers the PR-10 surface: normalized-SQL plan caching with parameter
+extraction, epoch-based invalidation (DDL / statistics / session
+knobs), parameter-sniffing guards and plan-instability recompiles,
+the row-modification auto-statistics loop, the selectivity-feedback
+memory, the no-capture guarantees of ``check()`` and bare ``EXPLAIN``,
+and the query store's periodic checkpoint."""
+
+import json
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.optimizer.statistics import SelectivityMemory
+from repro.engine.plancache import parameterize_select
+from repro.engine.sql.parser import parse_sql
+
+
+@pytest.fixture
+def db():
+    with Database() as database:
+        database.execute(
+            "CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(8), v INT)"
+        )
+        database.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(f"({i}, 'g{i % 5}', {i * 3 % 67})" for i in range(80))
+        )
+        database.execute("UPDATE STATISTICS t")
+        yield database
+
+
+def cache_stats(database):
+    return database.plan_cache.stats_dict()
+
+
+# ---------------------------------------------------------------------------
+# parameterization
+# ---------------------------------------------------------------------------
+
+
+class TestParameterize:
+    def parse(self, sql):
+        (stmt,) = parse_sql(sql)
+        return stmt
+
+    def test_literals_become_slots(self):
+        stmt = self.parse("SELECT v FROM t WHERE id = 7 AND grp = 'a'")
+        parsed = parameterize_select(stmt)
+        assert parsed.store == [7, "a"]
+
+    def test_two_parses_align_slot_order(self):
+        first = parameterize_select(
+            self.parse("SELECT v FROM t WHERE id = 7 AND grp = 'a'")
+        )
+        second = parameterize_select(
+            self.parse("SELECT v FROM t WHERE id = 99 AND grp = 'zz'")
+        )
+        assert len(first.store) == len(second.store)
+        assert second.store == [99, "zz"]
+        assert first.extras == second.extras
+
+    def test_null_literal_stays_inline(self):
+        parsed = parameterize_select(
+            self.parse("SELECT v FROM t WHERE grp = NULL")
+        )
+        assert parsed.store == []
+
+    def test_top_and_maxdop_join_the_key(self):
+        a = parameterize_select(
+            self.parse("SELECT TOP 5 v FROM t ORDER BY v")
+        )
+        b = parameterize_select(
+            self.parse("SELECT TOP 9 v FROM t ORDER BY v")
+        )
+        assert a.extras != b.extras
+
+    def test_template_reexecutes_with_fresh_values(self, db):
+        stmt = self.parse("SELECT v FROM t WHERE id = 3")
+        parsed = parameterize_select(stmt)
+        plan = db._planner.plan_select(parsed.template)
+        from repro.engine.executor import collect_rows
+
+        first = collect_rows(plan)
+        parsed.store[0] = 11
+        second = collect_rows(plan)
+        assert first == [(9,)]
+        assert second == [(33,)]
+
+
+# ---------------------------------------------------------------------------
+# hit / miss mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestHitMiss:
+    def test_second_execution_hits(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.query("SELECT v FROM t WHERE id = 9")
+        stats = cache_stats(db)
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_hit_returns_new_parameter_results(self, db):
+        assert db.query("SELECT v FROM t WHERE id = 5") == [(15,)]
+        assert db.query("SELECT v FROM t WHERE id = 9") == [(27,)]
+        assert db.query("SELECT v FROM t WHERE id = 5") == [(15,)]
+
+    def test_distinct_shapes_cache_separately(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.query("SELECT grp FROM t WHERE id = 5")
+        assert cache_stats(db)["entries"] == 2
+
+    def test_dmv_rows(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.query("SELECT v FROM t WHERE id = 6")
+        rows = db.query(
+            "SELECT query_text, state, hit_count, parameter_count "
+            "FROM sys_dm_exec_cached_plans"
+        )
+        target = [r for r in rows if "WHERE id = ?" in r[0]]
+        assert target
+        assert target[0][1] == "cached"
+        assert target[0][2] == 1  # one hit
+        assert target[0][3] == 1  # one parameter slot
+
+    def test_set_plan_cache_off_bypasses_and_clears(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["entries"] == 1
+        db.execute("SET PLAN_CACHE OFF")
+        assert cache_stats(db)["entries"] == 0
+        assert cache_stats(db)["evictions_disabled"] == 1
+        before = cache_stats(db)
+        assert db.query("SELECT v FROM t WHERE id = 5") == [(15,)]
+        after = cache_stats(db)
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+        db.execute("SET PLAN_CACHE ON")
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["entries"] == 1
+
+    def test_capacity_eviction(self, db):
+        db.plan_cache.capacity = 2
+        db.query("SELECT v FROM t WHERE id = 1")
+        db.query("SELECT grp FROM t WHERE id = 1")
+        db.query("SELECT id FROM t WHERE v = 3")
+        stats = cache_stats(db)
+        assert stats["entries"] == 2
+        assert stats["evictions_capacity"] == 1
+
+
+# ---------------------------------------------------------------------------
+# invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_ddl_invalidates(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.execute("CREATE TABLE other (x INT PRIMARY KEY)")
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["evictions_schema"] == 1
+
+    def test_create_index_invalidates(self, db):
+        db.query("SELECT v FROM t WHERE v = 30")
+        db.execute("CREATE INDEX ix_v ON t (v)")
+        db.query("SELECT v FROM t WHERE v = 30")
+        assert cache_stats(db)["evictions_schema"] == 1
+
+    def test_update_statistics_invalidates(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.execute("UPDATE STATISTICS t")
+        db.query("SELECT v FROM t WHERE id = 5")
+        stats = cache_stats(db)
+        assert stats["evictions_statistics"] == 1
+        assert stats["misses"] == 2
+
+    def test_knob_change_invalidates(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.execute("SET MAX_DOP 2")
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["evictions_knobs"] == 1
+
+    def test_execution_mode_change_invalidates(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.execution_mode = "row"
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["evictions_knobs"] == 1
+
+
+# ---------------------------------------------------------------------------
+# sniffing guards + plan instability
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def skew_db():
+    """A heap with a severely skewed secondary-index column: 'hot'
+    covers ~97% of rows, the rare values a handful each."""
+    with Database() as database:
+        database.execute(
+            "CREATE TABLE sk (id INT PRIMARY KEY, g VARCHAR(8), v INT)"
+        )
+        values = []
+        rid = 0
+        for _ in range(400):
+            values.append(f"({rid}, 'hot', {rid % 50})")
+            rid += 1
+        for tag in ("ra", "rb"):
+            for _ in range(5):
+                values.append(f"({rid}, '{tag}', {rid % 50})")
+                rid += 1
+        database.execute("INSERT INTO sk VALUES " + ", ".join(values))
+        database.execute("CREATE INDEX ix_g ON sk (g)")
+        database.execute("UPDATE STATISTICS sk")
+        yield database
+
+
+class TestSniffingGuards:
+    def test_skewed_parameter_triggers_recompile(self, skew_db):
+        db = skew_db
+        assert len(db.query("SELECT id FROM sk WHERE g = 'ra'")) == 5
+        # 'hot' selects ~97% of the table: the cached plan was costed
+        # for ~1% selectivity, so the guard must force a recompile
+        assert len(db.query("SELECT id FROM sk WHERE g = 'hot'")) == 400
+        stats = cache_stats(db)
+        assert stats["recompiles_sniffing"] >= 1
+
+    def test_recompile_surfaces_in_explain_note(self, skew_db):
+        db = skew_db
+        db.query("SELECT id FROM sk WHERE g = 'ra'")
+        text = db.execute("EXPLAIN SELECT id FROM sk WHERE g = 'hot'")
+        assert "plan cache recompile(sniffing guard:" in text
+
+    def test_flip_flop_marks_plan_unstable(self, skew_db):
+        db = skew_db
+        # alternate selective / unselective parameters until the plan
+        # has flip-flopped often enough to be condemned
+        for _ in range(4):
+            db.query("SELECT id FROM sk WHERE g = 'ra'")
+            db.query("SELECT id FROM sk WHERE g = 'hot'")
+        stats = cache_stats(db)
+        assert stats["unstable"] == 1
+        assert stats["recompiles_unstable"] >= 1
+        rows = db.query("SELECT state FROM sys_dm_exec_cached_plans")
+        assert any(state.startswith("unstable") for (state,) in rows)
+
+    def test_unstable_plans_still_answer_correctly(self, skew_db):
+        db = skew_db
+        for _ in range(4):
+            assert len(db.query("SELECT id FROM sk WHERE g = 'ra'")) == 5
+            assert len(db.query("SELECT id FROM sk WHERE g = 'hot'")) == 400
+
+
+# ---------------------------------------------------------------------------
+# auto statistics (modification counters)
+# ---------------------------------------------------------------------------
+
+
+class TestAutoStatistics:
+    def test_bulk_modification_trips_refresh(self, db):
+        table = db.catalog.table("t")
+        assert table.modification_counter == 0  # analyze() reset it
+        stats_version = table.statistics.version
+        # threshold = 500 + 0.2 * 80 = 516 modifications
+        db.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(
+                f"({i}, 'g{i % 5}', {i % 67})" for i in range(100, 700)
+            )
+        )
+        assert table.modification_counter == 0  # refreshed + reset
+        assert table.statistics.version > stats_version
+        assert table.statistics.row_count == 680
+        assert any("Auto UPDATE STATISTICS" in m for m in db.messages)
+
+    def test_auto_refresh_invalidates_cached_plans(self, db):
+        db.query("SELECT v FROM t WHERE id = 5")
+        db.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(
+                f"({i}, 'g{i % 5}', {i % 67})" for i in range(100, 700)
+            )
+        )
+        db.query("SELECT v FROM t WHERE id = 5")
+        assert cache_stats(db)["evictions_statistics"] == 1
+
+    def test_small_modifications_do_not_refresh(self, db):
+        table = db.catalog.table("t")
+        db.execute("INSERT INTO t VALUES (500, 'g1', 3)")
+        assert table.modification_counter == 1
+        assert not any("Auto UPDATE STATISTICS" in m for m in db.messages)
+
+    def test_tables_without_statistics_never_auto_refresh(self):
+        with Database() as database:
+            database.execute("CREATE TABLE fresh (id INT PRIMARY KEY)")
+            database.execute(
+                "INSERT INTO fresh VALUES "
+                + ", ".join(f"({i})" for i in range(600))
+            )
+            assert database.catalog.table("fresh")._statistics is None
+            assert not any(
+                "Auto UPDATE STATISTICS" in m for m in database.messages
+            )
+
+
+# ---------------------------------------------------------------------------
+# selectivity feedback
+# ---------------------------------------------------------------------------
+
+
+class TestSelectivityMemory:
+    def test_observe_and_lookup(self):
+        memory = SelectivityMemory(alpha=0.5)
+        memory.observe("t", "(v > 10)", 100, 20)
+        assert memory.lookup("t", "(v > 10)") == pytest.approx(0.2)
+        # literals mask, so different parameter values share an entry
+        assert memory.lookup("T", "(v > 99)") == pytest.approx(0.2)
+
+    def test_ewma_update(self):
+        memory = SelectivityMemory(alpha=0.5)
+        memory.observe("t", "(v > 10)", 100, 20)
+        memory.observe("t", "(v > 10)", 100, 60)
+        assert memory.lookup("t", "(v > 10)") == pytest.approx(0.4)
+
+    def test_truncated_labels_skipped(self):
+        memory = SelectivityMemory()
+        memory.observe("t", "(v > 10) AND ...", 100, 20)
+        assert len(memory) == 0
+
+    def test_execution_populates_memory(self, db):
+        db.query("SELECT id FROM t WHERE grp LIKE 'g1%'")
+        observations = db.selectivity_memory.observations()
+        assert any("LIKE" in o.predicate for o in observations)
+
+    def test_memory_feeds_like_estimates(self, db):
+        # LIKE has no histogram support: the blind default is 0.1, the
+        # observed truth here is 16/80 = 0.2
+        db.query("SELECT id FROM t WHERE grp LIKE 'g1%'")
+        table = db.catalog.table("t")
+        from repro.engine.sql.parser import parse_sql
+
+        (stmt,) = parse_sql("SELECT id FROM t WHERE grp LIKE 'g1%'")
+        selectivity = db._planner.cost.conjunct_selectivity(
+            stmt.where, table
+        )
+        assert selectivity == pytest.approx(0.2, abs=0.05)
+
+
+# ---------------------------------------------------------------------------
+# no-capture guarantees (check / bare EXPLAIN)
+# ---------------------------------------------------------------------------
+
+
+class TestNoCapture:
+    def test_bare_explain_untracked(self, db):
+        before_stats = cache_stats(db)
+        before_queries = len(db.query_store.queries())
+        db.execute("EXPLAIN SELECT v FROM t WHERE id = 5")
+        after_stats = cache_stats(db)
+        # the cached_plans peek must not populate nor count
+        assert after_stats["hits"] == before_stats["hits"]
+        assert after_stats["misses"] == before_stats["misses"]
+        assert after_stats["entries"] == before_stats["entries"]
+        # ...and bare EXPLAIN must not land in query store runtime stats
+        assert len(db.query_store.queries()) == before_queries
+
+    def test_explain_analyze_still_records(self, db):
+        before = len(db.query_store.queries())
+        db.execute("EXPLAIN ANALYZE SELECT v FROM t WHERE id = 5")
+        assert len(db.query_store.queries()) == before + 1
+
+    def test_check_populates_nothing(self, db):
+        before_cache = cache_stats(db)
+        before_queries = len(db.query_store.queries())
+        checked = db.check(
+            "SELECT v FROM t WHERE id = 5; "
+            "EXPLAIN SELECT grp FROM t WHERE v > 3"
+        )
+        assert checked == 2
+        assert cache_stats(db) == before_cache
+        assert len(db.query_store.queries()) == before_queries
+
+    def test_explain_notes_peek_state(self, db):
+        text = db.execute("EXPLAIN SELECT v FROM t WHERE id = 5")
+        assert "note: plan cache miss" in text
+        db.query("SELECT v FROM t WHERE id = 5")
+        text = db.execute("EXPLAIN SELECT v FROM t WHERE id = 7")
+        assert "note: plan cache hit" in text
+
+
+# ---------------------------------------------------------------------------
+# query store checkpoint
+# ---------------------------------------------------------------------------
+
+
+class TestFastPath:
+    """The raw-text (parse-free) hit path: registration rules,
+    fallback discipline, and side-effect parity with the parse path."""
+
+    def test_miss_registers_shape(self, db):
+        db.query("SELECT v FROM t WHERE id = 7")
+        assert "SELECT v FROM t WHERE id = ?" in db.plan_cache._fast_index
+
+    def test_hit_skips_parser_entirely(self, db, monkeypatch):
+        import repro.engine.database as database_module
+
+        db.query("SELECT v FROM t WHERE id = 7")
+
+        def boom(sql):
+            raise AssertionError("parser invoked on fast path")
+
+        monkeypatch.setattr(database_module, "parse_sql", boom)
+        assert db.query("SELECT v FROM t WHERE id = 31") == db_rows(31)
+        with pytest.raises(AssertionError):
+            db.query("SELECT v FROM t WHERE id = 31 AND v >= 0")
+
+    def test_fast_hits_rebind_fresh_values(self, db):
+        cold = [db.query(f"SELECT v FROM t WHERE id = {i}") for i in range(8)]
+        warm = [db.query(f"SELECT v FROM t WHERE id = {i}") for i in range(8)]
+        assert cold == warm
+        assert cache_stats(db)["hits"] >= 8
+
+    def test_duplicate_literals_defer_registration(self, db):
+        # equal values cannot prove the token→slot mapping; the shape
+        # registers only once a distinct-valued rendition comes along
+        db.query("SELECT id FROM t WHERE v = 9 AND id > 9")
+        entry = next(iter(db.plan_cache._entries.values()))
+        assert not entry.fast_shapes
+        db.query("SELECT id FROM t WHERE v = 9 AND id > 4")
+        assert entry.fast_shapes
+
+    def test_top_literal_blocks_registration(self, db):
+        # TOP n is a cache-key extra, invisible to the slot store — a
+        # positional rebind would mistake it for a parameter
+        db.query("SELECT TOP 3 id FROM t WHERE v > 10")
+        entry = next(iter(db.plan_cache._entries.values()))
+        assert not entry.fast_shapes
+
+    def test_explain_never_hijacked(self, db):
+        db.query("SELECT v FROM t WHERE id = 7")
+        db.query("SELECT v FROM t WHERE id = 8")
+        text = db.execute("EXPLAIN SELECT v FROM t WHERE id = 9")
+        assert isinstance(text, str) and "Seek" in text
+        assert "note: plan cache hit" in text
+
+    def test_fast_hits_keep_recording(self, db):
+        for i in range(4):
+            db.query(f"SELECT v FROM t WHERE id = {i}")
+        row = next(
+            r
+            for r in db.metrics.query_stats_rows()
+            if r[0] == "SELECT v FROM t WHERE id = ?"
+        )
+        assert row[2] == 4  # execution_count counts fast hits too
+        stored = [
+            q
+            for q in db.query_store.query_rows()
+            if q[1] == "SELECT v FROM t WHERE id = ?"
+        ]
+        assert stored
+
+    def test_invalidation_falls_back_and_evicts(self, db):
+        db.query("SELECT v FROM t WHERE id = 7")
+        db.query("SELECT v FROM t WHERE id = 8")
+        db.execute("UPDATE STATISTICS t")
+        assert db.query("SELECT v FROM t WHERE id = 9") == db_rows(9)
+        assert cache_stats(db)["evictions_statistics"] == 1
+
+    def test_disabled_cache_bypasses_fast_path(self, db):
+        db.query("SELECT v FROM t WHERE id = 7")
+        db.execute("SET PLAN_CACHE OFF")
+        before = cache_stats(db)["hits"]
+        assert db.query("SELECT v FROM t WHERE id = 8") == db_rows(8)
+        assert cache_stats(db)["hits"] == before
+
+    def test_eviction_cleans_fast_index(self, db):
+        db.query("SELECT v FROM t WHERE id = 7")
+        assert db.plan_cache._fast_index
+        db.plan_cache.clear()
+        assert not db.plan_cache._fast_index
+
+    def test_guard_trip_falls_back_to_recompile(self):
+        with Database() as database:
+            database.execute(
+                "CREATE TABLE sk (id INT PRIMARY KEY, g VARCHAR(8))"
+            )
+            values = [f"({i}, 'hot')" for i in range(400)]
+            values += [f"({400 + i}, 'rare')" for i in range(5)]
+            database.execute("INSERT INTO sk VALUES " + ", ".join(values))
+            database.execute("CREATE INDEX ix_g ON sk (g)")
+            database.execute("UPDATE STATISTICS sk")
+            assert database.query("SELECT id FROM sk WHERE g = 'rare'")
+            entry = next(iter(database.plan_cache._entries.values()))
+            assert entry.fast_shapes  # registered off the rare compile
+            rows = database.query("SELECT id FROM sk WHERE g = 'hot'")
+            assert len(rows) == 400
+            stats = database.plan_cache.stats_dict()
+            assert stats["recompiles_sniffing"] == 1
+
+
+def db_rows(i):
+    return [(i * 3 % 67,)]
+
+
+class TestQueryStoreCheckpoint:
+    def test_periodic_checkpoint_writes_midsession(self, tmp_path):
+        with Database(data_dir=tmp_path / "db") as database:
+            database.query_store.checkpoint_interval = 2
+            database.execute("CREATE TABLE c (id INT PRIMARY KEY)")
+            database.execute("INSERT INTO c VALUES (1)")
+            path = tmp_path / "db" / "querystore.json"
+            assert path.exists()  # written before close()
+            payload = json.loads(path.read_text())
+            assert payload["queries"]
+
+    def test_counter_resets_after_checkpoint(self, tmp_path):
+        with Database(data_dir=tmp_path / "db") as database:
+            database.query_store.checkpoint_interval = 2
+            database.execute("CREATE TABLE c (id INT PRIMARY KEY)")
+            database.execute("INSERT INTO c VALUES (1)")
+            assert database.query_store.records_since_checkpoint < 2
+
+    def test_interval_zero_disables(self, tmp_path):
+        with Database(data_dir=tmp_path / "db") as database:
+            database.query_store.checkpoint_interval = 0
+            database.execute("CREATE TABLE c (id INT PRIMARY KEY)")
+            database.execute("INSERT INTO c VALUES (1)")
+            database.execute("SELECT id FROM c")
+            assert not (tmp_path / "db" / "querystore.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# differential: cached execution must be byte-identical
+# ---------------------------------------------------------------------------
+
+_DIFF_QUERIES = [
+    "SELECT v FROM t WHERE id = {p}",
+    "SELECT grp, COUNT(*), SUM(v) FROM t WHERE v > {p} "
+    "GROUP BY grp ORDER BY grp",
+    "SELECT id, v FROM t WHERE v BETWEEN {p} AND 40 ORDER BY id",
+    "SELECT COUNT(*) FROM t WHERE grp IN ('g1', 'g{p2}')",
+    "SELECT TOP 7 id FROM t WHERE v > {p} ORDER BY id",
+]
+
+
+def _build(database, storage):
+    suffix = (
+        " WITH (STORAGE = 'COLUMN', SEGMENT_ROWS = 32)"
+        if storage == "column"
+        else ""
+    )
+    database.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(8), v INT)"
+        + suffix
+    )
+    database.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(f"({i}, 'g{i % 5}', {i * 3 % 67})" for i in range(96))
+    )
+    database.execute("UPDATE STATISTICS t")
+
+
+def _run_workload(database, dop):
+    hint = f" OPTION (MAXDOP {dop})" if dop > 1 else ""
+    out = []
+    for template in _DIFF_QUERIES:
+        for p in (3, 25, 48, 25, 3):
+            sql = template.format(p=p, p2=p % 5) + hint
+            out.append((sql, database.query(sql)))
+    return out
+
+
+@pytest.mark.parametrize("storage", ["heap", "column"])
+@pytest.mark.parametrize("mode", ["auto", "row"])
+@pytest.mark.parametrize("dop", [1, 2, 4])
+def test_differential_cache_on_off(storage, mode, dop):
+    with Database() as cached, Database() as uncached:
+        for database in (cached, uncached):
+            database.execution_mode = mode
+            _build(database, storage)
+        uncached.execute("SET PLAN_CACHE OFF")
+        with_cache = _run_workload(cached, dop)
+        without_cache = _run_workload(uncached, dop)
+        for (sql, hot), (_sql, cold) in zip(with_cache, without_cache):
+            assert repr(hot) == repr(cold), sql
+        # the cache must actually have been exercised
+        stats = cached.plan_cache.stats_dict()
+        assert stats["hits"] >= len(_DIFF_QUERIES) * 2
+        assert uncached.plan_cache.stats_dict()["misses"] == 0
